@@ -1,0 +1,441 @@
+// Command vnbench regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated cluster. Each subcommand prints the rows
+// or series the paper reports:
+//
+//	vnbench logp              Fig. 3  LogP parameters, AM vs GAM
+//	vnbench bandwidth         Fig. 4  transfer bandwidth vs message size
+//	vnbench npb               Fig. 5  NPB speedups on SP-2 / NOW / Origin 2000
+//	vnbench contention-small  Fig. 6  small-message throughput under contention
+//	vnbench contention-bulk   Fig. 7  8 KB bulk throughput under contention
+//	vnbench linpack           §6.2    Linpack GFLOPS on 100 nodes
+//	vnbench timeshare         §6.3    time-shared parallel applications
+//	vnbench overcommit        §6.4.1  8:1 overcommit: remap rate, bimodal RTTs
+//	vnbench ablations         §6.4.1  design-choice ablations
+//	vnbench all               everything above
+//
+// Use -quick for smaller client sweeps and shorter windows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"virtnet/internal/bench"
+	"virtnet/internal/core"
+	"virtnet/internal/gam"
+	"virtnet/internal/hostos"
+	"virtnet/internal/logp"
+	"virtnet/internal/netsim"
+	"virtnet/internal/npb"
+	"virtnet/internal/sim"
+)
+
+var (
+	quick = flag.Bool("quick", false, "smaller sweeps and shorter windows")
+	seed  = flag.Int64("seed", 1, "simulation seed")
+)
+
+func main() {
+	flag.Parse()
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	cmds := map[string]func(){
+		"logp":             runLogP,
+		"sensitivity":      runSensitivity,
+		"bandwidth":        runBandwidth,
+		"npb":              runNPB,
+		"contention-small": func() { runContention(0) },
+		"contention-bulk":  func() { runContention(8192) },
+		"linpack":          runLinpack,
+		"timeshare":        runTimeshare,
+		"overcommit":       runOvercommit,
+		"ablations":        runAblations,
+	}
+	if cmd == "all" {
+		for _, name := range []string{"logp", "bandwidth", "npb", "contention-small",
+			"contention-bulk", "linpack", "timeshare", "overcommit", "ablations",
+			"sensitivity"} {
+			cmds[name]()
+		}
+		return
+	}
+	fn, ok := cmds[cmd]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
+		os.Exit(2)
+	}
+	fn()
+}
+
+func header(title string) {
+	fmt.Printf("\n==== %s ====\n", title)
+}
+
+// amPair builds a dedicated two-node virtual network for microbenchmarks.
+func amPair(s int64) (*hostos.Cluster, logp.Station, logp.Station) {
+	c := hostos.NewCluster(s, 2, hostos.DefaultClusterConfig())
+	b0 := core.Attach(c.Nodes[0])
+	b1 := core.Attach(c.Nodes[1])
+	e0, _ := b0.NewEndpoint(1, 4)
+	e1, _ := b1.NewEndpoint(2, 4)
+	e0.Map(0, e1.Name(), 2)
+	e1.Map(0, e0.Name(), 1)
+	return c, logp.AMStation{EP: e0, Idx: 0}, logp.AMStation{EP: e1, Idx: 0}
+}
+
+func gamPair(s int64) (*sim.Engine, *gam.World, logp.Station, logp.Station) {
+	e := sim.NewEngine(s)
+	net := netsim.New(e, netsim.DefaultConfig(), 2)
+	w := gam.New(e, net, gam.DefaultConfig())
+	return e, w, logp.GAMStation{N: w.Node(0), Dst: 1}, logp.GAMStation{N: w.Node(1), Dst: 0}
+}
+
+func runLogP() {
+	header("Fig. 3 — LogP characterization (us)")
+	iters := 200
+	if *quick {
+		iters = 50
+	}
+	c, amc, ams := amPair(*seed)
+	am := logp.Measure(c.E, amc, ams, iters)
+	c.Shutdown()
+	e, w, gc, gs := gamPair(*seed)
+	gm := logp.Measure(e, gc, gs, iters)
+	w.Stop()
+	e.Shutdown()
+
+	fmt.Printf("%-6s %8s %8s %8s %8s %10s\n", "layer", "Os", "Or", "L", "g", "RTT")
+	fmt.Printf("%-6s %8.2f %8.2f %8.2f %8.2f %10.2f\n", "AM",
+		am.Os.Micros(), am.Or.Micros(), am.L.Micros(), am.G.Micros(), am.RTT.Micros())
+	fmt.Printf("%-6s %8.2f %8.2f %8.2f %8.2f %10.2f\n", "GAM",
+		gm.Os.Micros(), gm.Or.Micros(), gm.L.Micros(), gm.G.Micros(), gm.RTT.Micros())
+	fmt.Printf("ratios: gap x%.2f (paper 2.21), RTT x%.2f (paper 1.23)\n",
+		float64(am.G)/float64(gm.G), float64(am.RTT)/float64(gm.RTT))
+}
+
+func runBandwidth() {
+	header("Fig. 4 — transfer bandwidth (MB/s) and bulk round-trip time")
+	count := 200
+	if *quick {
+		count = 60
+	}
+	sizes := []int{128, 256, 512, 1024, 2048, 4096, 8192}
+	fmt.Printf("%8s %10s %10s\n", "bytes", "AM", "GAM")
+	for _, sz := range sizes {
+		c, amc, ams := amPair(*seed)
+		amBW := logp.Bandwidth(c.E, amc, ams, sz, count)
+		c.Shutdown()
+		e, w, gc, gs := gamPair(*seed)
+		gBW := logp.Bandwidth(e, gc, gs, sz, count)
+		w.Stop()
+		e.Shutdown()
+		fmt.Printf("%8d %10.1f %10.1f\n", sz, amBW, gBW)
+	}
+	fmt.Printf("hardware limits: SBUS write DMA 46.8 MB/s (paper: AM 43.9, GAM 38 at 8 KB)\n")
+
+	fmt.Printf("\nround-trip time for n-byte echo (paper fit: 0.1112*n + 61.02 us):\n")
+	var pts [][2]float64
+	for _, sz := range []int{128, 1024, 4096, 8192} {
+		c, amc, ams := amPair(*seed)
+		rtt := logp.RTTBulk(c.E, amc, ams, sz, 10)
+		c.Shutdown()
+		fmt.Printf("%8d %10.1f us\n", sz, rtt.Micros())
+		pts = append(pts, [2]float64{float64(sz), rtt.Micros()})
+	}
+	slope, icept := fitLine(pts)
+	fmt.Printf("fit: %.4f*n + %.2f us\n", slope, icept)
+}
+
+func fitLine(pts [][2]float64) (slope, intercept float64) {
+	n := float64(len(pts))
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		sx += p[0]
+		sy += p[1]
+		sxx += p[0] * p[0]
+		sxy += p[0] * p[1]
+	}
+	slope = (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	intercept = (sy - slope*sx) / n
+	return
+}
+
+func runNPB() {
+	header("Fig. 5 — NPB speedups (constant problem size)")
+	ps := []int{1, 2, 4, 8, 16, 32}
+	if *quick {
+		ps = []int{1, 2, 4, 8}
+	}
+	machines := []npb.Machine{npb.SP2(), npb.NewNOW(*seed), npb.Origin2000()}
+	for _, m := range machines {
+		fmt.Printf("\n%s:\n%-6s", m.Name(), "kernel")
+		for _, p := range ps {
+			fmt.Printf(" %7s", fmt.Sprintf("P=%d", p))
+		}
+		fmt.Println()
+		for _, k := range npb.Kernels() {
+			if *quick && (k.Name == "BT" || k.Name == "SP") {
+				continue
+			}
+			s, ok := npb.Speedup(m, k, ps)
+			if !ok {
+				fmt.Printf("%-6s failed\n", k.Name)
+				continue
+			}
+			fmt.Printf("%-6s", k.Name)
+			for _, v := range s {
+				fmt.Printf(" %7.1f", v)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\n(ideal = P; FT and IS are bisection-limited on the NOW, §6.2)")
+}
+
+func csWindow() (sim.Duration, sim.Duration) {
+	if *quick {
+		return 150 * sim.Millisecond, 300 * sim.Millisecond
+	}
+	return 200 * sim.Millisecond, 500 * sim.Millisecond
+}
+
+func runContention(msgBytes int) {
+	what := "small messages (msgs/s)"
+	if msgBytes > 0 {
+		what = fmt.Sprintf("%d-byte bulk (MB/s)", msgBytes)
+	}
+	header(fmt.Sprintf("Fig. %s — %s under contention", map[int]string{0: "6", 8192: "7"}[msgBytes], what))
+	clients := []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+	if *quick {
+		clients = []int{1, 2, 3, 4, 8, 12}
+	}
+	warm, win := csWindow()
+	type cfgRow struct {
+		name   string
+		mode   bench.ServerMode
+		frames int
+	}
+	rows := []cfgRow{
+		{"OneVN", bench.OneVN, 8},
+		{"ST-8", bench.ST, 8},
+		{"ST-96", bench.ST, 96},
+		{"MT-8", bench.MT, 8},
+		{"MT-96", bench.MT, 96},
+	}
+	fmt.Printf("aggregate server throughput:\n%-8s", "clients")
+	for _, r := range rows {
+		fmt.Printf(" %9s", r.name)
+	}
+	fmt.Printf("   (remaps/s on 8-frame configs)\n")
+	perClient := map[string][]float64{}
+	for _, n := range clients {
+		fmt.Printf("%-8d", n)
+		remapNote := ""
+		for _, r := range rows {
+			res := bench.RunClientServer(bench.CSConfig{
+				Clients: n, Mode: r.mode, Frames: r.frames, MsgBytes: msgBytes,
+				Warmup: warm, Window: win, Seed: *seed,
+			})
+			v := res.AggregateMsgs
+			if msgBytes > 0 {
+				v = res.AggregateMBps
+			}
+			fmt.Printf(" %9.0f", v)
+			perClient[r.name] = append(perClient[r.name], res.PerClient[0])
+			if r.frames == 8 && res.RemapsPerSec > 0 {
+				remapNote += fmt.Sprintf(" %s:%.0f", r.name, res.RemapsPerSec)
+			}
+		}
+		fmt.Printf("  %s\n", remapNote)
+	}
+	fmt.Printf("\nper-client (client 0) throughput:\n%-8s", "clients")
+	for _, r := range rows {
+		fmt.Printf(" %9s", r.name)
+	}
+	fmt.Println()
+	for i, n := range clients {
+		fmt.Printf("%-8d", n)
+		for _, r := range rows {
+			fmt.Printf(" %9.0f", perClient[r.name][i])
+		}
+		fmt.Println()
+	}
+}
+
+func runLinpack() {
+	header("§6.2 — Linpack on the dedicated cluster")
+	cfg := bench.DefaultLinpackConfig()
+	cfg.Seed = *seed
+	if *quick {
+		cfg.Nodes, cfg.N = 25, 2048
+	}
+	res, ok := bench.RunLinpack(cfg)
+	if !ok {
+		fmt.Println("linpack did not complete")
+		return
+	}
+	fmt.Printf("nodes=%d n=%d nb=%d: %.2f GFLOPS in %v (%.0f%% of %0.1f GF peak)\n",
+		cfg.Nodes, cfg.N, cfg.NB, res.GFlops, res.Time,
+		res.Efficiency*100, float64(cfg.Nodes)*cfg.RateFlops/1e9)
+	fmt.Printf("(paper: 10.14 GFLOPS on 100 nodes, Top-500 #315 in June 1997)\n")
+}
+
+func runTimeshare() {
+	header("§6.3 — time-shared parallel applications")
+	nodes, iters := 16, 40
+	if *quick {
+		nodes, iters = 8, 20
+	}
+	for _, imb := range []float64{0, 1.0} {
+		res, ok := bench.RunTimeshare(bench.TimeshareConfig{
+			Nodes: nodes, Apps: 2, Iters: iters,
+			Compute: 2 * sim.Millisecond, MsgBytes: 2048,
+			Imbalance: imb, Seed: *seed,
+		})
+		if !ok {
+			fmt.Println("timeshare run failed")
+			return
+		}
+		kind := "balanced"
+		if imb > 0 {
+			kind = "imbalanced"
+		}
+		fmt.Printf("%-11s shared=%v sequential=%v ratio=%.3f (paper: <= 1.15; gains with imbalance)\n",
+			kind, res.SharedMakespan, res.SequentialTotal, res.Ratio)
+		fmt.Printf("            comm/rank: shared=%v seq=%v; barrier wait: shared=%v seq=%v\n",
+			res.SharedCommMean, res.SeqCommMean, res.SharedSyncMean, res.SeqSyncMean)
+	}
+}
+
+func runOvercommit() {
+	header("§6.4.1 — overcommitting NI resources (32 clients, 8 frames)")
+	clients := 32
+	if *quick {
+		clients = 16
+	}
+	warm, win := csWindow()
+	res := bench.RunClientServer(bench.CSConfig{
+		Clients: clients, Mode: bench.MT, Frames: 8,
+		Warmup: warm, Window: win, Seed: *seed,
+	})
+	peak := bench.RunClientServer(bench.CSConfig{
+		Clients: 1, Mode: bench.OneVN, Frames: 8,
+		Warmup: warm, Window: win, Seed: *seed,
+	})
+	frac := res.AggregateMsgs / peak.AggregateMsgs * 100
+	fmt.Printf("overcommit %d:8 — aggregate %.0f msgs/s = %.0f%% of peak (paper: 50-75%%)\n",
+		clients, res.AggregateMsgs, frac)
+	fmt.Printf("endpoint re-mappings: %.0f/s (paper: 200-300/s)\n", res.RemapsPerSec)
+	fmt.Printf("remap rate per window decile: %v (sustained, not a transient)\n", res.RemapTimeline)
+	fast, fm, sm := res.RTT.BimodalSplit(2 * sim.Millisecond)
+	fmt.Printf("client RTTs are bimodal: %.0f%% fast (mean %v), %.0f%% slow (mean %v)\n",
+		fast*100, fm, (1-fast)*100, sm)
+	fmt.Println(strings.TrimRight(res.RTT.Buckets(12), "\n"))
+}
+
+func runAblations() {
+	header("§6.4.1 — design ablations")
+	warm, win := csWindow()
+	n := 24
+	if *quick {
+		n = 12
+	}
+
+	// A slower per-request server (40 us) lets receive queues back up, so
+	// endpoints are evicted with work pending — the §6.4.1 precondition for
+	// the single-threaded server writing replies into non-resident
+	// endpoints.
+	hw := 40 * sim.Microsecond
+	base := bench.RunClientServer(bench.CSConfig{Clients: n, Mode: bench.ST, Frames: 8,
+		Warmup: warm, Window: win, Seed: *seed, HandlerWork: hw})
+	noRW := bench.RunClientServer(bench.CSConfig{Clients: n, Mode: bench.ST, Frames: 8,
+		Warmup: warm, Window: win, Seed: *seed, HandlerWork: hw, DisableHostRW: true})
+	fmt.Printf("on-host r/w state (ST, %d clients, 8 frames, 40us handler):\n", n)
+	fmt.Printf("  with (paper design):    %8.0f msgs/s, %4.0f remaps/s\n", base.AggregateMsgs, base.RemapsPerSec)
+	fmt.Printf("  without (orig. design): %8.0f msgs/s, %4.0f remaps/s  (paper: ST falls to a few %% of peak)\n",
+		noRW.AggregateMsgs, noRW.RemapsPerSec)
+
+	fmt.Printf("replacement policy (ST, %d clients, 8 frames):\n", n)
+	for _, pol := range []hostos.ReplacementPolicy{hostos.ReplaceRandom, hostos.ReplaceLRU, hostos.ReplaceFIFO} {
+		r := bench.RunClientServer(bench.CSConfig{Clients: n, Mode: bench.ST, Frames: 8,
+			Warmup: warm, Window: win, Seed: *seed, Policy: pol})
+		fmt.Printf("  %-7s %8.0f msgs/s, %4.0f remaps/s\n", pol, r.AggregateMsgs, r.RemapsPerSec)
+	}
+
+	fmt.Printf("logical channels per NI pair (single-client 8 KB stream):\n")
+	for _, ch := range []int{1, 2, 4, 16} {
+		r := bench.RunClientServer(bench.CSConfig{Clients: 1, Mode: bench.OneVN, Frames: 8,
+			MsgBytes: 8192, Warmup: warm, Window: win, Seed: *seed, Channels: ch})
+		fmt.Printf("  %2d channels: %6.1f MB/s  (stop-and-wait masking of ack latency)\n", ch, r.AggregateMBps)
+	}
+
+	fmt.Printf("loiter bound (bulk hog + ping endpoint sharing one NI):\n")
+	on, ok1 := bench.RunLoiterAblation(false, *seed)
+	off, ok2 := bench.RunLoiterAblation(true, *seed)
+	if !ok1 || !ok2 {
+		fmt.Println("  loiter ablation failed")
+		return
+	}
+	fmt.Printf("  bounded (64 msgs/4 ms): hog %5.1f MB/s, %d pings, p50 %v p99 %v\n",
+		on.BulkMBps, on.PingCount, on.PingP50, on.PingP99)
+	fmt.Printf("  unbounded:              hog %5.1f MB/s, %d pings, p50 %v p99 %v\n",
+		off.BulkMBps, off.PingCount, off.PingP50, off.PingP99)
+}
+
+// runSensitivity reproduces the §6.1 claim (citing the LogP sensitivity
+// study) that added per-message *overhead* hurts applications more than an
+// equal increase in *gap*, because gap only limits long bursts of small
+// messages.
+func runSensitivity() {
+	header("§6.1 — LogP sensitivity: overhead vs gap (P=8)")
+	// Two regimes, per the paper's sentence: "increases in gap are, in
+	// general, less detrimental than increases in overheads, because such
+	// increases only effect applications which send long, frequent bursts
+	// of small messages."
+	spaced := npb.Kernel{Name: "TYPICAL", Iters: 400, Flops: 0.15e6,
+		Pattern: npb.PatPipeline, Bytes: 32e3, SmallMsgs: 1}
+	burst := npb.Kernel{Name: "BURST", Iters: 50, Flops: 0.4e6,
+		Pattern: npb.PatPipeline, Bytes: 60e3, SmallMsgs: 20}
+	baseS := runKernelWith(spaced, nil)
+	baseB := runKernelWith(burst, nil)
+	overheadMod := func(d sim.Duration) func(*hostos.ClusterConfig) {
+		return func(c *hostos.ClusterConfig) {
+			c.NIC.OsShort += d
+			c.NIC.OrShort += d
+			c.NIC.OsBulk += d
+			c.NIC.OrBulk += d
+		}
+	}
+	gapMod := func(d sim.Duration) func(*hostos.ClusterConfig) {
+		return func(c *hostos.ClusterConfig) {
+			c.NIC.SendPost += d
+			c.NIC.AckSend += d
+		}
+	}
+	fmt.Printf("%8s | %12s %12s | %12s %12s\n", "delta",
+		"typical o+d", "typical g+d", "burst o+d", "burst g+d")
+	for _, d := range []sim.Duration{2 * sim.Microsecond, 4 * sim.Microsecond, 8 * sim.Microsecond} {
+		so := runKernelWith(spaced, overheadMod(d))
+		sg := runKernelWith(spaced, gapMod(d))
+		bo := runKernelWith(burst, overheadMod(d))
+		bg := runKernelWith(burst, gapMod(d))
+		fmt.Printf("%8v | %11.2fx %11.2fx | %11.2fx %11.2fx\n", d,
+			float64(so)/float64(baseS), float64(sg)/float64(baseS),
+			float64(bo)/float64(baseB), float64(bg)/float64(baseB))
+	}
+	fmt.Println("(slowdown vs unmodified; overhead hurts everywhere, gap only hurts bursts)")
+}
+
+func runKernelWith(k npb.Kernel, mod func(*hostos.ClusterConfig)) sim.Duration {
+	m := npb.NewNOW(*seed)
+	m.CfgMod = mod
+	t, ok := m.Time(k, 8)
+	if !ok {
+		return 0
+	}
+	return t
+}

@@ -1,0 +1,95 @@
+// Parallelsort: an IS-style parallel bucket sort over the mini-MPI layered
+// on virtual networks. Eight ranks generate random keys, exchange buckets
+// with an all-to-all (the bisection-stressing pattern of §6.2), locally
+// sort, and verify the global ordering — real data moving through the whole
+// simulated stack.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"virtnet/internal/hostos"
+	"virtnet/internal/mpi"
+	"virtnet/internal/sim"
+)
+
+const (
+	ranks       = 8
+	keysPerRank = 4096
+)
+
+func main() {
+	cluster := hostos.NewCluster(11, ranks, hostos.DefaultClusterConfig())
+	defer cluster.Shutdown()
+	world, err := mpi.NewWorld(cluster, ranks, nil)
+	if err != nil {
+		panic(err)
+	}
+
+	maxes := make([]uint32, ranks)
+	mins := make([]uint32, ranks)
+	counts := make([]int, ranks)
+
+	ok := world.Run(func(p *sim.Proc, c *mpi.Comm) {
+		rng := rand.New(rand.NewSource(int64(c.Rank()) + 99))
+		keys := make([]uint32, keysPerRank)
+		for i := range keys {
+			keys[i] = rng.Uint32()
+		}
+
+		// Bucket by high bits: bucket i goes to rank i.
+		buckets := make([][]byte, ranks)
+		for _, k := range keys {
+			dst := int(k / (1 << 32 / ranks))
+			if dst >= ranks {
+				dst = ranks - 1
+			}
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], k)
+			buckets[dst] = append(buckets[dst], b[:]...)
+		}
+
+		got, err := c.Alltoall(p, buckets)
+		if err != nil {
+			panic(err)
+		}
+
+		var mine []uint32
+		for _, raw := range got {
+			for i := 0; i+4 <= len(raw); i += 4 {
+				mine = append(mine, binary.LittleEndian.Uint32(raw[i:]))
+			}
+		}
+		sort.Slice(mine, func(i, j int) bool { return mine[i] < mine[j] })
+
+		counts[c.Rank()] = len(mine)
+		if len(mine) > 0 {
+			mins[c.Rank()] = mine[0]
+			maxes[c.Rank()] = mine[len(mine)-1]
+		}
+		c.Barrier(p)
+		if c.Rank() == 0 {
+			fmt.Printf("sorted at t=%v; rank 0 moved %d bytes\n",
+				sim.Duration(p.Now()), c.BytesSent)
+		}
+	}, 30*sim.Second)
+	if !ok {
+		panic("sort did not complete")
+	}
+
+	total := 0
+	for r := 0; r < ranks; r++ {
+		fmt.Printf("rank %d: %5d keys in [%10d, %10d]\n", r, counts[r], mins[r], maxes[r])
+		total += counts[r]
+		if r > 0 && counts[r] > 0 && counts[r-1] > 0 && mins[r] < maxes[r-1] {
+			panic("global order violated across ranks")
+		}
+	}
+	if total != ranks*keysPerRank {
+		panic(fmt.Sprintf("lost keys: %d != %d", total, ranks*keysPerRank))
+	}
+	fmt.Printf("globally sorted %d keys across %d ranks\n", total, ranks)
+}

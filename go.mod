@@ -1,0 +1,3 @@
+module virtnet
+
+go 1.22

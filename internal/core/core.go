@@ -1,0 +1,526 @@
+// Package core implements the paper's primary contribution: the virtual
+// network communication programming interface — Active Messages II with
+// endpoints (§3).
+//
+// An application attaches a Bundle to its node, creates Endpoints in it,
+// and establishes addressability by configuring each endpoint's translation
+// table with (endpoint name, protection key) pairs. A collection of
+// endpoints that refer to one another forms a virtual network; there is no
+// group membership interface. Communication is split-phase request/reply:
+// a request names a translation-table index and a handler at the
+// destination; the handler may reply through its token.
+//
+// The three §3 enhancements over first-generation Active Messages are all
+// here: opaque endpoint names with per-message protection keys (§3.1),
+// exactly-once delivery with undeliverable messages returned to the sender
+// (§3.2), and event masks that integrate arrivals with blocked threads
+// (§3.3). Credit-based flow control allows 32 outstanding requests per
+// translation — the depth of the destination's request receive queue.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"virtnet/internal/hostos"
+	"virtnet/internal/netsim"
+	"virtnet/internal/nic"
+	"virtnet/internal/sim"
+)
+
+// NumHandlers is the size of each endpoint's handler table.
+const NumHandlers = 64
+
+// EndpointName is an opaque global endpoint name. Applications obtain names
+// by any rendezvous mechanism and install them in translation tables; they
+// must not interpret the contents.
+type EndpointName struct {
+	node netsim.NodeID
+	ep   int
+}
+
+func (n EndpointName) String() string { return fmt.Sprintf("ep(%d:%d)", n.node, n.ep) }
+
+// Raw serializes the name for transport through a rendezvous mechanism
+// (e.g. inside a message's argument words). The encoding is opaque to
+// applications; NameFromRaw reverses it.
+func (n EndpointName) Raw() int64 { return int64(n.node)<<40 | int64(n.ep) }
+
+// NameFromRaw reconstructs a name serialized by Raw.
+func NameFromRaw(raw int64) EndpointName {
+	return EndpointName{node: netsim.NodeID(raw >> 40), ep: int(raw & (1<<40 - 1))}
+}
+
+// Key is a protection key. A message is delivered only if its key matches
+// the destination endpoint's key.
+type Key = uint64
+
+// Handler is an Active Message handler. Request handlers may send at most
+// one reply through tok; reply handlers must not reply. Handlers run in the
+// context of the polling (or waiting) thread.
+type Handler func(p *sim.Proc, tok *Token, args [4]uint64, payload []byte)
+
+// ReturnHandler receives undeliverable messages returned to this endpoint
+// (§3.2). The application decides whether to re-issue or abort; dstIdx is
+// the translation-table index of the intended destination (-1 if it is no
+// longer mapped), which is what a re-issue needs.
+type ReturnHandler func(p *sim.Proc, reason nic.NackReason, dstIdx, handler int, args [4]uint64, payload []byte)
+
+// Errors returned by the API.
+var (
+	ErrBadIndex    = errors.New("core: translation table index invalid or unset")
+	ErrPayloadSize = errors.New("core: payload exceeds MTU (fragment at a higher layer)")
+	ErrClosed      = errors.New("core: bundle closed")
+	ErrNoHandler   = errors.New("core: handler index out of range")
+)
+
+// Mode marks an endpoint shared (operations take a lock) or exclusive.
+type Mode int
+
+const (
+	// Exclusive endpoints skip synchronization overheads (§3.3).
+	Exclusive Mode = iota
+	// Shared endpoints charge a lock cost per operation.
+	Shared
+)
+
+// sharedLockCost is the synchronization overhead per operation on a shared
+// endpoint.
+const sharedLockCost = 400 * sim.Nanosecond
+
+// Bundle is a per-process collection of endpoints with a shared event wait
+// (the AM-II bundle). Threads sleep on the bundle and wake when any armed
+// endpoint receives a message.
+type Bundle struct {
+	Node *hostos.Node
+
+	eps    []*Endpoint
+	cond   *sim.Cond
+	closed bool
+}
+
+// Attach opens a bundle on node.
+func Attach(node *hostos.Node) *Bundle {
+	return &Bundle{Node: node, cond: sim.NewCond(node.E)}
+}
+
+// Endpoints returns the bundle's endpoints.
+func (b *Bundle) Endpoints() []*Endpoint { return b.eps }
+
+// translation is one slot of an endpoint's translation table.
+type translation struct {
+	valid   bool
+	name    EndpointName
+	key     Key
+	credits int
+}
+
+// Stats counts per-endpoint API activity.
+type Stats struct {
+	Requests  int64
+	Replies   int64
+	Delivered int64 // handlers invoked for incoming messages
+	Returns   int64 // undeliverable messages returned to this endpoint
+}
+
+// Endpoint is a virtualized connection to the network (§3). It holds
+// message queues and state beneath the interface, owns a translation table
+// defining its logical communication namespace, and a handler table.
+type Endpoint struct {
+	b    *Bundle
+	seg  *hostos.Segment
+	mode Mode
+
+	handlers [NumHandlers]Handler
+	onReturn ReturnHandler
+	trans    []translation
+	// msgSeq assigns the end-to-end message id per destination endpoint
+	// (exactly-once dedup across channel rebinds).
+	msgSeq map[EndpointName]uint64
+	// reverse maps a remote endpoint to the local translation index, for
+	// credit restoration when its replies and returns arrive.
+	reverse map[EndpointName]int
+
+	Stats Stats
+}
+
+// NewEndpoint creates an endpoint with the given protection key and a
+// translation table of tableSize slots.
+func (b *Bundle) NewEndpoint(key Key, tableSize int) (*Endpoint, error) {
+	if b.closed {
+		return nil, ErrClosed
+	}
+	seg := b.Node.Driver.CreateEndpoint(key)
+	ep := &Endpoint{
+		b:       b,
+		seg:     seg,
+		trans:   make([]translation, tableSize),
+		reverse: make(map[EndpointName]int),
+		msgSeq:  make(map[EndpointName]uint64),
+	}
+	// Communication events funnel to the bundle condition so one thread
+	// can wait on many endpoints.
+	seg.OnEvent = func() { b.cond.Broadcast() }
+	b.eps = append(b.eps, ep)
+	return ep, nil
+}
+
+// Name returns the endpoint's opaque global name.
+func (ep *Endpoint) Name() EndpointName {
+	return EndpointName{node: ep.b.Node.ID, ep: ep.seg.EP.ID}
+}
+
+// Segment exposes the OS segment backing this endpoint (for instrumentation).
+func (ep *Endpoint) Segment() *hostos.Segment { return ep.seg }
+
+// Bundle returns the bundle this endpoint belongs to.
+func (ep *Endpoint) Bundle() *Bundle { return ep.b }
+
+// SetMode marks the endpoint shared or exclusive.
+func (ep *Endpoint) SetMode(m Mode) { ep.mode = m }
+
+// SetHandler installs h at handler table index i.
+func (ep *Endpoint) SetHandler(i int, h Handler) error {
+	if i < 0 || i >= NumHandlers {
+		return ErrNoHandler
+	}
+	ep.handlers[i] = h
+	return nil
+}
+
+// SetReturnHandler installs the undeliverable-message handler.
+func (ep *Endpoint) SetReturnHandler(h ReturnHandler) { ep.onReturn = h }
+
+// Map installs (name, key) at translation table index idx, establishing
+// addressability to that endpoint with an initial credit window equal to
+// the destination's request receive queue depth.
+func (ep *Endpoint) Map(idx int, name EndpointName, key Key) error {
+	if idx < 0 || idx >= len(ep.trans) {
+		return ErrBadIndex
+	}
+	ep.trans[idx] = translation{valid: true, name: name, key: key, credits: ep.b.Node.NIC.Config().RecvQDepth}
+	ep.reverse[name] = idx
+	return nil
+}
+
+// Unmap invalidates translation idx.
+func (ep *Endpoint) Unmap(idx int) error {
+	if idx < 0 || idx >= len(ep.trans) || !ep.trans[idx].valid {
+		return ErrBadIndex
+	}
+	delete(ep.reverse, ep.trans[idx].name)
+	ep.trans[idx] = translation{}
+	return nil
+}
+
+// Credits reports the available request credits for translation idx.
+func (ep *Endpoint) Credits(idx int) int { return ep.trans[idx].credits }
+
+// Key returns the endpoint's protection key.
+func (ep *Endpoint) Key() Key { return ep.seg.EP.Key }
+
+// TranslationValid reports whether translation slot idx is mapped.
+func (ep *Endpoint) TranslationValid(idx int) bool {
+	return idx >= 0 && idx < len(ep.trans) && ep.trans[idx].valid
+}
+
+// TranslationName returns the name mapped at slot idx (zero value if the
+// slot is invalid or unmapped).
+func (ep *Endpoint) TranslationName(idx int) EndpointName {
+	if !ep.TranslationValid(idx) {
+		return EndpointName{}
+	}
+	return ep.trans[idx].name
+}
+
+// SetEventMask arms (or disarms) arrival events for this endpoint (§3.3).
+func (ep *Endpoint) SetEventMask(armed bool) { ep.seg.EP.EventArmed = armed }
+
+// lock charges synchronization cost on shared endpoints.
+func (ep *Endpoint) lock(p *sim.Proc) {
+	if ep.mode == Shared {
+		p.Sleep(sharedLockCost)
+	}
+}
+
+// touchForWrite performs the endpoint write-fault protocol: if the endpoint
+// is not resident the segment driver is invoked, which (in the paper's
+// design) marks it writable and schedules an asynchronous remap.
+func (ep *Endpoint) touchForWrite(p *sim.Proc) {
+	if !ep.seg.Resident() {
+		ep.b.Node.Driver.WriteFault(p, ep.seg)
+	}
+}
+
+// Request sends a short request to translation idx, invoking handler h
+// remotely. It blocks (polling) while the translation is out of credits or
+// the send queue is full.
+func (ep *Endpoint) Request(p *sim.Proc, idx, h int, args [4]uint64) error {
+	return ep.request(p, idx, h, args, nil)
+}
+
+// RequestBulk sends a request carrying payload (<= MTU). Bulk data is
+// staged through NI memory by DMA on both sides.
+func (ep *Endpoint) RequestBulk(p *sim.Proc, idx, h int, payload []byte, args [4]uint64) error {
+	return ep.request(p, idx, h, args, payload)
+}
+
+func (ep *Endpoint) request(p *sim.Proc, idx, h int, args [4]uint64, payload []byte) error {
+	if ep.b.closed {
+		return ErrClosed
+	}
+	if idx < 0 || idx >= len(ep.trans) || !ep.trans[idx].valid {
+		return ErrBadIndex
+	}
+	cfg := ep.b.Node.NIC.Config()
+	if len(payload) > cfg.MTU {
+		return ErrPayloadSize
+	}
+	ep.lock(p)
+	// Credit-based flow control: block while the window is closed,
+	// polling so replies (which restore credits) are consumed. The probe
+	// interval backs off while nothing arrives so long waits stay cheap.
+	wait := sim.Duration(cfg.PollHost)
+	for ep.trans[idx].credits == 0 {
+		if ep.pollOnce(p) == 0 {
+			p.Sleep(wait)
+			if wait < 100*sim.Microsecond {
+				wait *= 2
+			}
+		} else {
+			wait = sim.Duration(cfg.PollHost)
+		}
+	}
+	ep.trans[idx].credits--
+	return ep.enqueue(p, ep.trans[idx].name, ep.trans[idx].key, h, args, payload, false)
+}
+
+// enqueue charges Os, performs the write-fault protocol, and posts the
+// descriptor, waiting for send-queue space if necessary.
+func (ep *Endpoint) enqueue(p *sim.Proc, dst EndpointName, key Key, h int, args [4]uint64, payload []byte, isReply bool) error {
+	cfg := ep.b.Node.NIC.Config()
+	os := cfg.OsShort
+	if isReply {
+		os = cfg.OsReply
+	}
+	if len(payload) > 0 {
+		os = cfg.OsBulk
+	}
+	ep.b.Node.Compute(p, sim.Duration(os))
+	ep.touchForWrite(p)
+	sq := ep.seg.EP.SendQ
+	if isReply {
+		sq = ep.seg.EP.RepSendQ
+	}
+	wait := sim.Duration(cfg.PollHost)
+	for sq.Full() {
+		// The NI drains the queue; polling meanwhile keeps replies moving.
+		if ep.pollOnce(p) == 0 {
+			p.Sleep(wait)
+			if wait < 100*sim.Microsecond {
+				wait *= 2
+			}
+		} else {
+			wait = sim.Duration(cfg.PollHost)
+		}
+	}
+	ep.msgSeq[dst]++
+	d := &nic.SendDesc{
+		DstNI:    dst.node,
+		DstEP:    dst.ep,
+		MsgID:    ep.msgSeq[dst],
+		Key:      key,
+		SrcEP:    ep.seg.EP.ID,
+		Handler:  h,
+		IsReply:  isReply,
+		Args:     args,
+		Payload:  payload,
+		ReplyKey: ep.seg.EP.Key,
+		Enq:      p.Now(),
+	}
+	sq.Push(d)
+	ep.b.Node.NIC.PostSend(ep.seg.EP)
+	if isReply {
+		ep.Stats.Replies++
+	} else {
+		ep.Stats.Requests++
+	}
+	return nil
+}
+
+// Token identifies the request being handled so the handler can reply.
+type Token struct {
+	ep      *Endpoint
+	src     EndpointName
+	key     Key
+	replied bool
+}
+
+// Source returns the name of the requesting endpoint.
+func (t *Token) Source() EndpointName { return t.src }
+
+// Reply sends a short reply to the request identified by the token.
+func (t *Token) Reply(p *sim.Proc, h int, args [4]uint64) error {
+	return t.reply(p, h, args, nil)
+}
+
+// ReplyBulk sends a reply carrying payload (<= MTU).
+func (t *Token) ReplyBulk(p *sim.Proc, h int, payload []byte, args [4]uint64) error {
+	return t.reply(p, h, args, payload)
+}
+
+func (t *Token) reply(p *sim.Proc, h int, args [4]uint64, payload []byte) error {
+	if t.replied {
+		return errors.New("core: handler replied twice")
+	}
+	if len(payload) > t.ep.b.Node.NIC.Config().MTU {
+		return ErrPayloadSize
+	}
+	t.replied = true
+	return t.ep.enqueue(p, t.src, t.key, h, args, payload, true)
+}
+
+// pollOnce drains pending messages from the endpoint, charging the poll
+// cost (which depends on where the endpoint resides: polling resident
+// endpoints reads uncacheable NI memory; non-resident ones are cacheable
+// host memory — the ST-96 vs ST-8 effect of §6.4) and the per-message
+// receive overhead. It returns the number of messages processed.
+func (ep *Endpoint) pollOnce(p *sim.Proc) int {
+	cfg := ep.b.Node.NIC.Config()
+	ep.lock(p)
+	if ep.seg.Resident() {
+		p.Sleep(cfg.PollResident)
+	} else {
+		p.Sleep(cfg.PollHost)
+	}
+	n := 0
+	for {
+		m, ok := ep.seg.EP.PopRecv(p.Now())
+		if !ok {
+			break
+		}
+		n++
+		ep.dispatch(p, m)
+	}
+	return n
+}
+
+// dispatch charges Or and runs the appropriate handler for one message.
+func (ep *Endpoint) dispatch(p *sim.Proc, m *nic.RecvMsg) {
+	cfg := ep.b.Node.NIC.Config()
+	or := cfg.OrShort
+	if m.IsReply && !m.IsReturn {
+		or = cfg.OrReply
+	}
+	if len(m.Payload) > 0 {
+		or = cfg.OrBulk
+	}
+	ep.b.Node.Compute(p, sim.Duration(or))
+
+	src := EndpointName{node: m.SrcNI, ep: m.SrcEP}
+	if m.IsReturn {
+		// Undeliverable message returned to sender: restore the credit it
+		// consumed (requests only) and run the return handler.
+		ep.Stats.Returns++
+		dstIdx := -1
+		if idx, ok := ep.reverse[src]; ok {
+			dstIdx = idx
+			if !m.IsReply {
+				ep.trans[idx].credits++
+			}
+		}
+		if ep.onReturn != nil {
+			ep.onReturn(p, m.Reason, dstIdx, m.Handler, m.Args, m.Payload)
+		}
+		return
+	}
+	if m.IsReply {
+		// A reply closes the request's credit.
+		if idx, ok := ep.reverse[src]; ok {
+			ep.trans[idx].credits++
+		}
+	}
+	ep.Stats.Delivered++
+	h := ep.handlers[m.Handler]
+	if h == nil {
+		return
+	}
+	tok := &Token{ep: ep, src: src, key: m.ReplyKey}
+	if m.IsReply {
+		tok.replied = true // replies must not be replied to
+	}
+	h(p, tok, m.Args, m.Payload)
+}
+
+// Poll processes pending messages on the endpoint once.
+func (ep *Endpoint) Poll(p *sim.Proc) int { return ep.pollOnce(p) }
+
+// Poll processes pending messages on every endpoint in the bundle.
+func (b *Bundle) Poll(p *sim.Proc) int {
+	n := 0
+	for _, ep := range b.eps {
+		n += ep.pollOnce(p)
+	}
+	return n
+}
+
+// Wait blocks the thread until any armed endpoint in the bundle has a
+// pending message (or the bundle closes). Unarmed endpoints do not wake it.
+func (b *Bundle) Wait(p *sim.Proc) {
+	for !b.closed && !b.anyArmedPending() {
+		b.cond.Wait(p)
+	}
+}
+
+// WaitTimeout is Wait with a bound; it reports whether an event arrived.
+func (b *Bundle) WaitTimeout(p *sim.Proc, d sim.Duration) bool {
+	deadline := p.Now().Add(d)
+	for !b.closed && !b.anyArmedPending() {
+		remain := deadline.Sub(p.Now())
+		if remain <= 0 {
+			return false
+		}
+		if !b.cond.WaitTimeout(p, remain) && !b.anyArmedPending() {
+			return false
+		}
+	}
+	return !b.closed
+}
+
+func (b *Bundle) anyArmedPending() bool {
+	for _, ep := range b.eps {
+		if ep.seg.EP.EventArmed && ep.seg.EP.PendingRecvs() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Close frees every endpoint in the bundle, synchronizing with the NI
+// (process termination invokes the segment driver's free methods, §4.2).
+func (b *Bundle) Close(p *sim.Proc) {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, ep := range b.eps {
+		b.Node.Driver.Free(p, ep.seg)
+	}
+	b.cond.Broadcast()
+}
+
+// MakeVirtualNetwork wires a set of endpoints into a fully connected
+// virtual network using virtual node numbers: endpoint i's translation
+// table maps index j to endpoint j, for all i, j. This realizes the
+// traditional parallel-programming addressing model on top of the general
+// naming scheme (§3.1).
+func MakeVirtualNetwork(eps []*Endpoint) error {
+	for _, a := range eps {
+		for j, bEP := range eps {
+			if err := a.Map(j, bEP.Name(), bEP.seg.EP.Key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

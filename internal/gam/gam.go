@@ -1,0 +1,316 @@
+// Package gam implements the baseline against which the paper measures the
+// cost of virtualization: a first-generation Active Messages layer (GAM,
+// "Generic Active Messages") with a single endpoint per node, direct
+// virtual-node addressing, and none of the §3 enhancements — no opaque
+// naming or protection keys, no delivery/error model (the interconnect is
+// assumed perfectly reliable), and no thread integration. The NI firmware
+// is correspondingly leaner: no transport acknowledgments, timers, or
+// endpoint multiplexing, which is why its small-message gap is less than
+// half that of virtual networks (Fig. 3).
+package gam
+
+import (
+	"errors"
+	"fmt"
+
+	"virtnet/internal/netsim"
+	"virtnet/internal/sim"
+	"virtnet/internal/trace"
+)
+
+// NumHandlers is the handler table size per node.
+const NumHandlers = 64
+
+// Handler is a GAM handler; request handlers may reply once via the token.
+type Handler func(p *sim.Proc, tok *Token, args [4]uint64, payload []byte)
+
+// Config is the GAM cost model, calibrated to the first-generation layer's
+// published LogP numbers (smaller Os, larger Or than virtual networks; gap
+// ~5.8 us; 38 MB/s bulk bandwidth at 8 KB).
+type Config struct {
+	Os      sim.Duration // host: write send descriptor (small)
+	Or      sim.Duration // host: read message + dispatch (small)
+	OsReply sim.Duration // host: write a short reply descriptor
+	OsBulk  sim.Duration
+	OrBulk  sim.Duration
+	OrReply sim.Duration // host: consume a short credit-returning reply
+	Poll    sim.Duration // host: poll the (always resident) endpoint
+
+	SendCritical   sim.Duration // NI: latency-path send processing
+	SendPost       sim.Duration // NI: post-forward occupancy
+	RecvCritical   sim.Duration // NI: latency-path receive processing
+	RecvPost       sim.Duration // NI: post-deposit occupancy
+	RecvExtra      sim.Duration // NI: unpipelined bulk descriptor handling
+	DeliverLatency sim.Duration // deposit-to-host-visibility (word-by-word PIO reads)
+
+	DMASetup     sim.Duration
+	SBusReadBps  float64
+	SBusWriteBps float64
+
+	MTU         int
+	HeaderBytes int
+	QueueDepth  int // per-node receive queue depth
+	Credits     int // outstanding requests per destination
+}
+
+// DefaultConfig returns the calibrated GAM model.
+func DefaultConfig() Config {
+	return Config{
+		Os:      sim.Duration(2.9 * 1000),
+		Or:      sim.Duration(4.1 * 1000),
+		OsBulk:  sim.Duration(3.6 * 1000),
+		OrBulk:  sim.Duration(4.4 * 1000),
+		OrReply: sim.Duration(1.3 * 1000),
+		Poll:    sim.Duration(0.5 * 1000),
+
+		SendCritical:   sim.Duration(1.2 * 1000),
+		SendPost:       sim.Duration(1.6 * 1000),
+		RecvCritical:   sim.Duration(1.0 * 1000),
+		RecvPost:       sim.Duration(2.0 * 1000),
+		RecvExtra:      sim.Duration(33 * 1000),
+		DeliverLatency: sim.Duration(4.5 * 1000),
+
+		DMASetup:     1 * sim.Microsecond,
+		SBusReadBps:  54e6,
+		SBusWriteBps: 46.8e6,
+
+		MTU:         8192,
+		HeaderBytes: 32,
+		QueueDepth:  64,
+		Credits:     16,
+	}
+}
+
+// ErrPayloadSize is returned for payloads over the MTU.
+var ErrPayloadSize = errors.New("gam: payload exceeds MTU")
+
+type msg struct {
+	src     int
+	dst     int
+	handler int
+	isReply bool
+	args    [4]uint64
+	payload []byte
+}
+
+// Node is one GAM endpoint: exactly one per host, always "resident".
+type Node struct {
+	w        *World
+	id       int
+	handlers [NumHandlers]Handler
+	sendq    []*msg
+	recvq    []*msg
+	inbound  []*msg
+	credits  []int
+	idle     *sim.Cond
+	stopped  bool
+	// pendingDeposit counts messages scheduled for visibility.
+	pendingDeposit int
+
+	// C counts messages.
+	C *trace.Counters
+}
+
+// World is a GAM parallel program instance spanning all hosts of a network.
+type World struct {
+	e     *sim.Engine
+	net   *netsim.Network
+	cfg   Config
+	nodes []*Node
+}
+
+// New builds the GAM layer over net, one node per host.
+func New(e *sim.Engine, net *netsim.Network, cfg Config) *World {
+	w := &World{e: e, net: net, cfg: cfg}
+	n := net.NumHosts()
+	for i := 0; i < n; i++ {
+		nd := &Node{
+			w:       w,
+			id:      i,
+			credits: make([]int, n),
+			idle:    sim.NewCond(e),
+			C:       trace.NewCounters(),
+		}
+		for j := range nd.credits {
+			nd.credits[j] = cfg.Credits
+		}
+		w.nodes = append(w.nodes, nd)
+		id := netsim.NodeID(i)
+		net.Attach(id, nd.fromNetwork)
+		e.Spawn(fmt.Sprintf("gam%d", i), nd.loop)
+	}
+	return w
+}
+
+// Node returns node i's endpoint.
+func (w *World) Node(i int) *Node { return w.nodes[i] }
+
+// N returns the number of nodes.
+func (w *World) N() int { return len(w.nodes) }
+
+// Config returns the layer's cost model.
+func (w *World) Config() Config { return w.cfg }
+
+// Stop halts all NI loops.
+func (w *World) Stop() {
+	for _, n := range w.nodes {
+		n.stopped = true
+		n.idle.Signal()
+	}
+}
+
+// SetHandler installs h at index i.
+func (n *Node) SetHandler(i int, h Handler) { n.handlers[i] = h }
+
+// ID returns the node's rank.
+func (n *Node) ID() int { return n.id }
+
+// Request sends a short request to node dst, handler h. It blocks (polling)
+// while out of credits.
+func (n *Node) Request(p *sim.Proc, dst, h int, args [4]uint64) error {
+	return n.send(p, dst, h, args, nil, false)
+}
+
+// RequestBulk sends a request with payload (<= MTU).
+func (n *Node) RequestBulk(p *sim.Proc, dst, h int, payload []byte, args [4]uint64) error {
+	return n.send(p, dst, h, args, payload, false)
+}
+
+func (n *Node) send(p *sim.Proc, dst, h int, args [4]uint64, payload []byte, isReply bool) error {
+	if len(payload) > n.w.cfg.MTU {
+		return ErrPayloadSize
+	}
+	if !isReply {
+		for n.credits[dst] == 0 {
+			if n.Poll(p) == 0 {
+				p.Sleep(n.w.cfg.Poll)
+			}
+		}
+		n.credits[dst]--
+	}
+	os := n.w.cfg.Os
+	if isReply {
+		os = n.w.cfg.OsReply
+	}
+	if len(payload) > 0 {
+		os = n.w.cfg.OsBulk
+	}
+	p.Sleep(os)
+	n.sendq = append(n.sendq, &msg{src: n.id, dst: dst, handler: h, isReply: isReply, args: args, payload: payload})
+	n.idle.Signal()
+	n.C.Inc("tx")
+	return nil
+}
+
+// Token lets a request handler reply.
+type Token struct {
+	n       *Node
+	src     int
+	replied bool
+}
+
+// Source returns the requesting node's rank.
+func (t *Token) Source() int { return t.src }
+
+// Reply sends a short reply.
+func (t *Token) Reply(p *sim.Proc, h int, args [4]uint64) error {
+	return t.replyImpl(p, h, args, nil)
+}
+
+// ReplyBulk sends a reply with payload.
+func (t *Token) ReplyBulk(p *sim.Proc, h int, payload []byte, args [4]uint64) error {
+	return t.replyImpl(p, h, args, payload)
+}
+
+func (t *Token) replyImpl(p *sim.Proc, h int, args [4]uint64, payload []byte) error {
+	if t.replied {
+		return errors.New("gam: handler replied twice")
+	}
+	t.replied = true
+	return t.n.send(p, t.src, h, args, payload, true)
+}
+
+// Poll processes pending messages, returning how many handlers ran.
+func (n *Node) Poll(p *sim.Proc) int {
+	p.Sleep(n.w.cfg.Poll)
+	k := 0
+	for len(n.recvq) > 0 {
+		m := n.recvq[0]
+		n.recvq = n.recvq[1:]
+		k++
+		or := n.w.cfg.Or
+		if m.isReply {
+			or = n.w.cfg.OrReply
+		}
+		if len(m.payload) > 0 {
+			or = n.w.cfg.OrBulk
+		}
+		p.Sleep(or)
+		if m.isReply {
+			n.credits[m.src]++
+		}
+		if h := n.handlers[m.handler]; h != nil {
+			tok := &Token{n: n, src: m.src, replied: m.isReply}
+			h(p, tok, m.args, m.payload)
+		}
+		n.C.Inc("rx")
+	}
+	return k
+}
+
+// Pending reports messages awaiting Poll.
+func (n *Node) Pending() int { return len(n.recvq) }
+
+func (n *Node) fromNetwork(pkt *netsim.Packet) {
+	n.inbound = append(n.inbound, pkt.Payload.(*msg))
+	n.idle.Signal()
+}
+
+// loop is the lean GAM firmware: no acks, no retransmission, no endpoint
+// scheduling — just move packets.
+func (n *Node) loop(p *sim.Proc) {
+	cfg := n.w.cfg
+	for !n.stopped {
+		switch {
+		case len(n.inbound) > 0:
+			m := n.inbound[0]
+			n.inbound = n.inbound[1:]
+			p.Sleep(cfg.RecvCritical)
+			if len(m.payload) > 0 {
+				p.Sleep(cfg.RecvExtra + cfg.DMASetup + dmaTime(len(m.payload), cfg.SBusWriteBps))
+			}
+			if len(n.recvq)+n.pendingDeposit < cfg.QueueDepth {
+				n.pendingDeposit++
+				n.w.e.Schedule(cfg.DeliverLatency, func() {
+					n.pendingDeposit--
+					n.recvq = append(n.recvq, m)
+				})
+			} else {
+				// GAM assumes the programmer's credits prevent overruns; a
+				// queue overflow silently drops (and is counted).
+				n.C.Inc("rx.overflow_drop")
+			}
+			p.Sleep(cfg.RecvPost)
+		case len(n.sendq) > 0:
+			m := n.sendq[0]
+			n.sendq = n.sendq[1:]
+			if len(m.payload) > 0 {
+				p.Sleep(cfg.DMASetup + dmaTime(len(m.payload), cfg.SBusReadBps))
+			}
+			p.Sleep(cfg.SendCritical)
+			n.w.net.Send(&netsim.Packet{
+				Src:     netsim.NodeID(n.id),
+				Dst:     netsim.NodeID(m.dst),
+				Size:    cfg.HeaderBytes + len(m.payload),
+				Payload: m,
+			}, 0)
+			p.Sleep(cfg.SendPost)
+		default:
+			n.idle.Wait(p)
+		}
+	}
+}
+
+func dmaTime(bytes int, bps float64) sim.Duration {
+	return sim.Duration(float64(bytes) * 1e9 / bps)
+}

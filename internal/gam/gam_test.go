@@ -1,0 +1,217 @@
+package gam
+
+import (
+	"testing"
+
+	"virtnet/internal/netsim"
+	"virtnet/internal/sim"
+)
+
+func newWorld(t *testing.T, n int) (*sim.Engine, *World) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	net := netsim.New(e, netsim.DefaultConfig(), n)
+	w := New(e, net, DefaultConfig())
+	t.Cleanup(func() { w.Stop(); e.Shutdown() })
+	return e, w
+}
+
+func TestGAMRequestReply(t *testing.T) {
+	e, w := newWorld(t, 2)
+	var got uint64
+	w.Node(1).SetHandler(1, func(p *sim.Proc, tok *Token, args [4]uint64, _ []byte) {
+		tok.Reply(p, 2, [4]uint64{args[0] * 2})
+	})
+	w.Node(0).SetHandler(2, func(p *sim.Proc, tok *Token, args [4]uint64, _ []byte) {
+		got = args[0]
+	})
+	e.Spawn("server", func(p *sim.Proc) {
+		for got == 0 {
+			w.Node(1).Poll(p)
+			p.Sleep(sim.Microsecond)
+		}
+	})
+	e.Spawn("client", func(p *sim.Proc) {
+		w.Node(0).Request(p, 1, 1, [4]uint64{21})
+		for got == 0 {
+			w.Node(0).Poll(p)
+			p.Sleep(sim.Microsecond)
+		}
+	})
+	e.RunFor(100 * sim.Millisecond)
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+}
+
+func TestGAMBulk(t *testing.T) {
+	e, w := newWorld(t, 2)
+	var n int
+	w.Node(1).SetHandler(1, func(p *sim.Proc, tok *Token, args [4]uint64, payload []byte) {
+		n = len(payload)
+	})
+	e.Spawn("server", func(p *sim.Proc) {
+		for n == 0 {
+			w.Node(1).Poll(p)
+			p.Sleep(sim.Microsecond)
+		}
+	})
+	e.Spawn("client", func(p *sim.Proc) {
+		if err := w.Node(0).RequestBulk(p, 1, 1, make([]byte, 4096), [4]uint64{}); err != nil {
+			t.Errorf("bulk: %v", err)
+		}
+	})
+	e.RunFor(100 * sim.Millisecond)
+	if n != 4096 {
+		t.Fatalf("payload len = %d", n)
+	}
+}
+
+func TestGAMPayloadLimit(t *testing.T) {
+	e, w := newWorld(t, 2)
+	var err error
+	e.Spawn("client", func(p *sim.Proc) {
+		err = w.Node(0).RequestBulk(p, 1, 1, make([]byte, 10000), [4]uint64{})
+	})
+	e.RunFor(sim.Millisecond)
+	if err != ErrPayloadSize {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGAMCredits(t *testing.T) {
+	e, w := newWorld(t, 2)
+	cfg := w.Config()
+	done := 0
+	total := cfg.Credits + 8
+	w.Node(1).SetHandler(1, func(p *sim.Proc, tok *Token, args [4]uint64, _ []byte) {
+		tok.Reply(p, 2, args)
+	})
+	w.Node(0).SetHandler(2, func(p *sim.Proc, tok *Token, args [4]uint64, _ []byte) { done++ })
+	e.Spawn("server", func(p *sim.Proc) {
+		for done < total {
+			w.Node(1).Poll(p)
+			p.Sleep(2 * sim.Microsecond)
+		}
+	})
+	e.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < total; i++ {
+			w.Node(0).Request(p, 1, 1, [4]uint64{uint64(i)})
+		}
+		for done < total {
+			w.Node(0).Poll(p)
+			p.Sleep(2 * sim.Microsecond)
+		}
+	})
+	e.RunFor(sim.Second)
+	if done != total {
+		t.Fatalf("done = %d, want %d (credit deadlock?)", done, total)
+	}
+}
+
+func TestGAMLowerGapThanVirtualNetworks(t *testing.T) {
+	// Sanity check on the calibration direction: GAM's per-message NI
+	// occupancy (SendCritical+SendPost) must be well below the virtual
+	// network's, since Fig. 3 reports a 2.21x gap ratio.
+	g := DefaultConfig()
+	gamGap := g.SendCritical + g.SendPost
+	if gamGap > 7*sim.Microsecond {
+		t.Fatalf("GAM per-message occupancy %v too large", gamGap)
+	}
+}
+
+func TestGAMReplyBulk(t *testing.T) {
+	e, w := newWorld(t, 2)
+	var got []byte
+	done := false
+	w.Node(1).SetHandler(1, func(p *sim.Proc, tok *Token, args [4]uint64, payload []byte) {
+		tok.ReplyBulk(p, 2, payload, args) // echo the payload back
+	})
+	w.Node(0).SetHandler(2, func(p *sim.Proc, tok *Token, args [4]uint64, payload []byte) {
+		got = payload
+		done = true
+	})
+	e.Spawn("server", func(p *sim.Proc) {
+		for !done {
+			w.Node(1).Poll(p)
+			p.Sleep(sim.Microsecond)
+		}
+	})
+	e.Spawn("client", func(p *sim.Proc) {
+		buf := make([]byte, 2048)
+		for i := range buf {
+			buf[i] = byte(i * 7)
+		}
+		w.Node(0).RequestBulk(p, 1, 1, buf, [4]uint64{})
+		for !done {
+			w.Node(0).Poll(p)
+			p.Sleep(sim.Microsecond)
+		}
+	})
+	e.RunFor(100 * sim.Millisecond)
+	if len(got) != 2048 || int(got[100]) != (100*7)%256 {
+		t.Fatalf("bulk echo corrupted: len=%d", len(got))
+	}
+}
+
+func TestGAMDoubleReplyRejected(t *testing.T) {
+	e, w := newWorld(t, 2)
+	var second error
+	done := false
+	w.Node(1).SetHandler(1, func(p *sim.Proc, tok *Token, args [4]uint64, _ []byte) {
+		tok.Reply(p, 2, args)
+		second = tok.Reply(p, 2, args)
+		done = true
+	})
+	e.Spawn("server", func(p *sim.Proc) {
+		for !done {
+			w.Node(1).Poll(p)
+			p.Sleep(sim.Microsecond)
+		}
+	})
+	e.Spawn("client", func(p *sim.Proc) {
+		w.Node(0).Request(p, 1, 1, [4]uint64{})
+	})
+	e.RunFor(50 * sim.Millisecond)
+	if second == nil {
+		t.Fatal("double reply accepted")
+	}
+}
+
+func TestGAMManyNodes(t *testing.T) {
+	e, w := newWorld(t, 8)
+	served := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		w.Node(i).SetHandler(1, func(p *sim.Proc, tok *Token, args [4]uint64, _ []byte) {
+			served[i]++
+			tok.Reply(p, 2, args)
+		})
+		w.Node(i).SetHandler(2, func(p *sim.Proc, tok *Token, args [4]uint64, _ []byte) {})
+	}
+	finished := 0
+	for i := 0; i < 8; i++ {
+		i := i
+		e.Spawn("peer", func(p *sim.Proc) {
+			for j := 0; j < 8; j++ {
+				if j != i {
+					w.Node(i).Request(p, j, 1, [4]uint64{})
+				}
+			}
+			for w.Node(i).Pending() > 0 || served[i] < 7 {
+				w.Node(i).Poll(p)
+				p.Sleep(2 * sim.Microsecond)
+			}
+			finished++
+		})
+	}
+	e.RunFor(sim.Second)
+	if finished != 8 {
+		t.Fatalf("finished = %d/8", finished)
+	}
+	for i, s := range served {
+		if s != 7 {
+			t.Fatalf("node %d served %d, want 7", i, s)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package glunix is a minimal cluster operating system layer in the spirit
+// of Fig. 1's GLUnix/Condor boxes: a space-sharing job scheduler that
+// queues parallel jobs, gang-launches each job's processes on an allocated
+// partition of nodes, and recycles nodes as jobs finish. Combined with the
+// virtual network layer's adaptation of the endpoint resident set, it lets
+// batch parallel jobs, services, and interactive work coexist — the
+// general-purpose usage model the paper argues for.
+package glunix
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"virtnet/internal/hostos"
+	"virtnet/internal/sim"
+)
+
+// JobState tracks a job through the queue.
+type JobState int
+
+const (
+	// Queued: waiting for enough free nodes.
+	Queued JobState = iota
+	// Running: gang-launched on a partition.
+	Running
+	// Done: every rank returned.
+	Done
+)
+
+func (s JobState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	}
+	return "done"
+}
+
+// JobFn is a job's per-rank body. nodes lists the allocated partition;
+// rank r runs on nodes[r].
+type JobFn func(p *sim.Proc, rank int, nodes []*hostos.Node)
+
+// Job is one submitted parallel job.
+type Job struct {
+	ID    int
+	Width int // requested node count
+	State JobState
+
+	fn        JobFn
+	partition []int
+	remaining int
+	submitted sim.Time
+	started   sim.Time
+	finished  sim.Time
+	cond      *sim.Cond
+}
+
+// Partition returns the node indices the job ran on (nil while queued).
+func (j *Job) Partition() []int { return append([]int(nil), j.partition...) }
+
+// QueueWait returns how long the job waited for nodes.
+func (j *Job) QueueWait() sim.Duration { return j.started.Sub(j.submitted) }
+
+// RunTime returns the job's execution time (zero until done).
+func (j *Job) RunTime() sim.Duration {
+	if j.State != Done {
+		return 0
+	}
+	return j.finished.Sub(j.started)
+}
+
+// Scheduler is the cluster-wide job manager.
+type Scheduler struct {
+	cluster *hostos.Cluster
+	free    map[int]bool
+	queue   []*Job
+	nextID  int
+
+	// busyTime accumulates node-seconds of allocation for utilization.
+	busyTime   sim.Duration
+	lastChange sim.Time
+	allocated  int
+
+	// Completed counts finished jobs.
+	Completed int
+}
+
+// ErrTooWide is returned when a job requests more nodes than exist.
+var ErrTooWide = errors.New("glunix: job wider than the cluster")
+
+// NewScheduler manages all nodes of the cluster.
+func NewScheduler(c *hostos.Cluster) *Scheduler {
+	s := &Scheduler{cluster: c, free: make(map[int]bool)}
+	for i := range c.Nodes {
+		s.free[i] = true
+	}
+	return s
+}
+
+// FreeNodes reports currently unallocated nodes.
+func (s *Scheduler) FreeNodes() int { return len(s.free) }
+
+// Queued reports jobs waiting for nodes.
+func (s *Scheduler) Queued() int { return len(s.queue) }
+
+// Utilization returns mean allocated-node fraction over [0, now].
+func (s *Scheduler) Utilization() float64 {
+	now := s.cluster.E.Now()
+	if now == 0 {
+		return 0
+	}
+	busy := s.busyTime + sim.Duration(s.allocated)*now.Sub(s.lastChange)
+	return float64(busy) / float64(sim.Duration(len(s.cluster.Nodes))*sim.Duration(now))
+}
+
+func (s *Scheduler) account() {
+	now := s.cluster.E.Now()
+	s.busyTime += sim.Duration(s.allocated) * now.Sub(s.lastChange)
+	s.lastChange = now
+}
+
+// Submit enqueues a parallel job of the given width and attempts dispatch.
+func (s *Scheduler) Submit(width int, fn JobFn) (*Job, error) {
+	if width > len(s.cluster.Nodes) {
+		return nil, ErrTooWide
+	}
+	if width <= 0 {
+		return nil, errors.New("glunix: job width must be positive")
+	}
+	s.nextID++
+	j := &Job{
+		ID:        s.nextID,
+		Width:     width,
+		State:     Queued,
+		fn:        fn,
+		submitted: s.cluster.E.Now(),
+		cond:      sim.NewCond(s.cluster.E),
+	}
+	s.queue = append(s.queue, j)
+	s.dispatch()
+	return j, nil
+}
+
+// dispatch launches queued jobs in FIFO order while partitions fit. FIFO
+// (no backfilling) keeps wide jobs from starving.
+func (s *Scheduler) dispatch() {
+	for len(s.queue) > 0 {
+		j := s.queue[0]
+		if len(s.free) < j.Width {
+			return
+		}
+		s.queue = s.queue[1:]
+		s.launch(j)
+	}
+}
+
+// launch allocates the lowest-numbered free nodes and gang-starts the job's
+// ranks at the same virtual instant.
+func (s *Scheduler) launch(j *Job) {
+	var ids []int
+	for id := range s.free {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	ids = ids[:j.Width]
+	for _, id := range ids {
+		delete(s.free, id)
+	}
+	s.account()
+	s.allocated += j.Width
+
+	j.partition = ids
+	j.State = Running
+	j.started = s.cluster.E.Now()
+	j.remaining = j.Width
+
+	nodes := make([]*hostos.Node, j.Width)
+	for r, id := range ids {
+		nodes[r] = s.cluster.Nodes[id]
+	}
+	for r := range ids {
+		r := r
+		nodes[r].Spawn(fmt.Sprintf("job%d.r%d", j.ID, r), func(p *sim.Proc) {
+			j.fn(p, r, nodes)
+			j.remaining--
+			if j.remaining == 0 {
+				s.finish(j)
+			}
+		})
+	}
+}
+
+// finish releases the partition and dispatches waiting jobs.
+func (s *Scheduler) finish(j *Job) {
+	j.State = Done
+	j.finished = s.cluster.E.Now()
+	s.account()
+	s.allocated -= j.Width
+	for _, id := range j.partition {
+		s.free[id] = true
+	}
+	s.Completed++
+	j.cond.Broadcast()
+	s.dispatch()
+}
+
+// Wait blocks the proc until the job finishes.
+func (s *Scheduler) Wait(p *sim.Proc, j *Job) {
+	for j.State != Done {
+		j.cond.Wait(p)
+	}
+}
+
+// Drain advances the engine until all submitted jobs finish or maxTime
+// passes; it reports whether everything completed.
+func (s *Scheduler) Drain(maxTime sim.Duration) bool {
+	deadline := s.cluster.E.Now().Add(maxTime)
+	for s.cluster.E.Now() < deadline {
+		if len(s.queue) == 0 && s.allocated == 0 {
+			return true
+		}
+		s.cluster.E.RunFor(sim.Millisecond)
+	}
+	return len(s.queue) == 0 && s.allocated == 0
+}

@@ -1,0 +1,468 @@
+// Package hostos models the operating-system half of the virtual network
+// system: the endpoint segment driver that manages endpoint residency as a
+// virtual-memory problem (§4 of the paper).
+//
+// Endpoints live in one of the four states of the paper's Fig. 2:
+//
+//	on-host r/o  --write fault-->  on-host r/w  --background remap-->  on-NI r/w
+//	on-host r/o  --vm pageout-->   on-disk (n/a) --fault+page-in-->     on-host r/w
+//
+// The critical design element reproduced here is the *asynchronous* on-host
+// read/write state: a write fault on a non-resident endpoint returns
+// immediately after scheduling a remap with the background kernel thread, so
+// application threads are never suspended for the duration of an upload.
+// §6.4.1 shows single-threaded servers collapse without it; the
+// DisableHostRW ablation removes it.
+package hostos
+
+import (
+	"fmt"
+
+	"virtnet/internal/netsim"
+	"virtnet/internal/nic"
+	"virtnet/internal/sim"
+	"virtnet/internal/trace"
+)
+
+// SegState is the OS view of an endpoint segment (Fig. 2).
+type SegState int
+
+const (
+	// OnHostRO: image in host memory, read-only translations.
+	OnHostRO SegState = iota
+	// OnHostRW: image in host memory, writable; a remap is scheduled.
+	OnHostRW
+	// OnNIC: image resident in an NI endpoint frame, read-write.
+	OnNIC
+	// OnDisk: image reclaimed to the swap area, translations invalid.
+	OnDisk
+)
+
+func (s SegState) String() string {
+	switch s {
+	case OnHostRO:
+		return "on-host r/o"
+	case OnHostRW:
+		return "on-host r/w"
+	case OnNIC:
+		return "on-nic r/w"
+	}
+	return "on-disk"
+}
+
+// Segment is an endpoint segment: the memory-mapped object through which an
+// application owns one endpoint.
+type Segment struct {
+	EP    *nic.EndpointImage
+	State SegState
+	// Cond is broadcast on residency transitions and communication events;
+	// threads blocked on the endpoint (event masks, §3.3) wait here.
+	Cond *sim.Cond
+	// OnEvent, when set, also runs on communication events (after the
+	// kernel notify cost); the core library points it at the bundle's
+	// event condition so one thread can wait on many endpoints.
+	OnEvent func()
+
+	remapQueued bool
+	// remapping is set while the background thread is actively working on
+	// this segment; Free must synchronize with it.
+	remapping bool
+	freed     bool
+	freeStamp uint64
+	owner     *Driver
+}
+
+// Resident reports whether the segment is bound to an NI frame.
+func (s *Segment) Resident() bool { return s.State == OnNIC }
+
+// Driver is the per-node endpoint segment driver plus its background remap
+// kernel thread.
+type Driver struct {
+	e    *sim.Engine
+	node netsim.NodeID
+	nic  *nic.NIC
+	cfg  Config
+
+	segs   map[int]*Segment
+	nextID int
+
+	remapQ    []*Segment
+	remapCond *sim.Cond
+	proc      *sim.Proc
+
+	// lamport is the driver's logical clock (§4.3).
+	lamport uint64
+
+	// C counts faults, remaps, victim evictions, notifies.
+	C *trace.Counters
+
+	stopped bool
+}
+
+// NewDriver creates the segment driver for node id and wires it to n.
+func NewDriver(e *sim.Engine, id netsim.NodeID, n *nic.NIC, cfg Config) *Driver {
+	d := &Driver{
+		e:         e,
+		node:      id,
+		nic:       n,
+		cfg:       cfg,
+		segs:      make(map[int]*Segment),
+		remapCond: sim.NewCond(e),
+		C:         trace.NewCounters(),
+	}
+	// Endpoint IDs are globally unique across the cluster so a wire packet's
+	// DstEP is unambiguous; partition the space by node.
+	d.nextID = int(id) * 1_000_000
+	n.SetDriver(d)
+	d.proc = e.Spawn(fmt.Sprintf("segdrv%d", id), d.remapLoop)
+	return d
+}
+
+// NIC returns the network interface this driver manages.
+func (d *Driver) NIC() *nic.NIC { return d.nic }
+
+// Config returns the driver's cost model.
+func (d *Driver) Config() Config { return d.cfg }
+
+// debugRemap turns on remap tracing (debug builds only).
+var debugRemap = false
+
+// SetDebugRemap toggles remap tracing (diagnostics).
+func SetDebugRemap(v bool) { debugRemap = v }
+
+// Stop halts the background thread (tests).
+func (d *Driver) Stop() {
+	d.stopped = true
+	d.remapCond.Broadcast()
+}
+
+func (d *Driver) tick(remote uint64) uint64 {
+	if remote > d.lamport {
+		d.lamport = remote
+	}
+	d.lamport++
+	return d.lamport
+}
+
+// CreateEndpoint allocates an endpoint segment (segment creation = endpoint
+// allocation + queue initialization, §4.2). The endpoint starts on-host r/o
+// and non-resident.
+func (d *Driver) CreateEndpoint(key uint64) *Segment {
+	d.nextID++
+	cfg := d.nic.Config()
+	ep := nic.NewEndpointImage(d.nextID, d.node, cfg.SendQDepth, cfg.RecvQDepth)
+	ep.Key = key
+	d.nic.Register(ep)
+	seg := &Segment{EP: ep, State: OnHostRO, Cond: sim.NewCond(d.e), owner: d}
+	d.segs[ep.ID] = seg
+	d.C.Inc("ep.create")
+	return seg
+}
+
+// Free releases an endpoint segment, synchronizing de-allocation with the
+// network interface (process termination invokes this via segment methods).
+// It blocks the calling thread until the endpoint is quiesced and unloaded.
+func (d *Driver) Free(p *sim.Proc, seg *Segment) {
+	seg.freed = true
+	seg.freeStamp = d.tick(0)
+	// Synchronize with an in-flight remap: the background thread may have
+	// already committed to loading this endpoint.
+	for seg.remapping {
+		seg.Cond.Wait(p)
+	}
+	if seg.EP.State != nic.EPHost {
+		d.submitAndWait(p, &nic.DriverCmd{Op: nic.OpUnload, EP: seg.EP, Stamp: seg.freeStamp})
+	}
+	d.nic.Deregister(seg.EP.ID)
+	delete(d.segs, seg.EP.ID)
+	seg.Cond.Broadcast()
+	d.C.Inc("ep.free")
+}
+
+// Duplicate clones an endpoint segment for a forked process (Solaris
+// segments export a duplicate method, §4.2). The child receives its own
+// endpoint with a fresh identity and empty queues — translations and
+// message state belong to the parent's communication context — but
+// inherits the protection key.
+func (d *Driver) Duplicate(seg *Segment) (*Segment, error) {
+	if seg.freed {
+		return nil, fmt.Errorf("hostos: duplicate of freed endpoint %d", seg.EP.ID)
+	}
+	child := d.CreateEndpoint(seg.EP.Key)
+	d.C.Inc("ep.duplicate")
+	return child, nil
+}
+
+// Segment looks up a segment by endpoint id.
+func (d *Driver) Segment(epID int) (*Segment, bool) {
+	s, ok := d.segs[epID]
+	return s, ok
+}
+
+// WriteFault is invoked when an application thread writes into a
+// non-resident endpoint. On the paper's design it marks the segment
+// writable, schedules an asynchronous remap, and returns immediately. With
+// DisableHostRW (the original design) it blocks until the endpoint is
+// resident.
+func (d *Driver) WriteFault(p *sim.Proc, seg *Segment) {
+	if seg.Resident() || seg.freed {
+		return
+	}
+	p.Sleep(d.cfg.FaultCost)
+	// Re-validate after the trap: the background thread may have completed
+	// the binding while this fault was being handled (the handler finds the
+	// translation already valid and simply returns).
+	if seg.Resident() || seg.freed {
+		return
+	}
+	d.C.Inc("fault.write")
+	if seg.State == OnDisk {
+		p.Sleep(d.cfg.PageInCost)
+		d.C.Inc("fault.pagein")
+	}
+	seg.State = OnHostRW
+	d.queueRemap(seg)
+	if d.cfg.DisableHostRW {
+		for !seg.Resident() && !seg.freed {
+			seg.Cond.Wait(p)
+		}
+	}
+}
+
+// PageOut simulates VM pressure reclaiming a non-resident endpoint's pages
+// to the swap area ("vm pageout" transition in Fig. 2).
+func (d *Driver) PageOut(seg *Segment) error {
+	if seg.Resident() {
+		return fmt.Errorf("hostos: cannot page out resident endpoint %d", seg.EP.ID)
+	}
+	if seg.freed {
+		return fmt.Errorf("hostos: endpoint %d already freed", seg.EP.ID)
+	}
+	seg.State = OnDisk
+	d.C.Inc("vm.pageout")
+	return nil
+}
+
+// queueRemap schedules seg for residency with the background thread.
+func (d *Driver) queueRemap(seg *Segment) {
+	if seg.remapQueued {
+		d.C.Inc("remap.skip_queued")
+		return
+	}
+	if seg.Resident() {
+		d.C.Inc("remap.skip_resident")
+		return
+	}
+	if seg.freed {
+		d.C.Inc("remap.skip_freed")
+		return
+	}
+	seg.remapQueued = true
+	if debugRemap {
+		fmt.Printf("[%v] drv%d queueRemap ep%d epstate=%d segstate=%v\n", sim.Duration(d.e.Now()), d.node, seg.EP.ID, seg.EP.State, seg.State)
+	}
+	d.remapQ = append(d.remapQ, seg)
+	d.remapCond.Signal()
+}
+
+// RequestResident implements nic.DriverPort: a message arrived for a
+// non-resident endpoint, so the NI asks for it to be made resident. The
+// paper's segment driver spawns a kernel thread to perform a proxy
+// operation — a software-initiated page fault — which funnels into the same
+// remap mechanism. Runs in NI context; it must only enqueue.
+func (d *Driver) RequestResident(ep *nic.EndpointImage, stamp uint64) {
+	now := d.tick(stamp)
+	seg, ok := d.segs[ep.ID]
+	if !ok || seg.freed {
+		// The free "happened before" this request resolved (or raced it);
+		// the logical clock lets us discard it deterministically (§4.3).
+		_ = now
+		d.C.Inc("remap.stale_request")
+		return
+	}
+	d.C.Inc("remap.ni_request")
+	if seg.State == OnDisk {
+		// The proxy fault must also page the image back in; the remap
+		// thread charges the cost.
+		d.C.Inc("fault.proxy_pagein")
+	}
+	if seg.State == OnHostRO {
+		seg.State = OnHostRW
+	}
+	d.queueRemap(seg)
+}
+
+// Notify implements nic.DriverPort: a communication event arrived for an
+// endpoint with an armed event mask. The kernel path costs NotifyCost
+// before the blocked thread actually wakes.
+func (d *Driver) Notify(ep *nic.EndpointImage) {
+	seg, ok := d.segs[ep.ID]
+	if !ok {
+		return
+	}
+	d.C.Inc("event.notify")
+	d.e.Schedule(d.cfg.NotifyCost, func() {
+		seg.Cond.Broadcast()
+		if seg.OnEvent != nil {
+			seg.OnEvent()
+		}
+	})
+}
+
+// submitAndWait issues a driver/NI command and blocks the proc until the NI
+// completes it.
+func (d *Driver) submitAndWait(p *sim.Proc, cmd *nic.DriverCmd) {
+	done := false
+	c := sim.NewCond(d.e)
+	cmd.Done = func() {
+		done = true
+		c.Broadcast()
+	}
+	if cmd.Stamp == 0 {
+		cmd.Stamp = d.tick(0)
+	}
+	d.nic.SubmitCmd(cmd)
+	for !done {
+		c.Wait(p)
+	}
+}
+
+// freeFrame returns the index of a free NI frame, or -1.
+func (d *Driver) freeFrame() int {
+	cfg := d.nic.Config()
+	for i := 0; i < cfg.Frames; i++ {
+		if d.nic.FrameOccupant(i) == nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// pickVictim selects a resident endpoint to evict according to the policy.
+// Quiescing endpoints (mid-unload) are skipped.
+func (d *Driver) pickVictim() *Segment {
+	cfg := d.nic.Config()
+	var candidates []*Segment
+	for i := 0; i < cfg.Frames; i++ {
+		ep := d.nic.FrameOccupant(i)
+		if ep == nil || ep.State != nic.EPResident {
+			continue
+		}
+		if seg, ok := d.segs[ep.ID]; ok && !seg.freed {
+			candidates = append(candidates, seg)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	switch d.cfg.Policy {
+	case ReplaceLRU:
+		best := candidates[0]
+		for _, s := range candidates[1:] {
+			if s.EP.LastActive < best.EP.LastActive {
+				best = s
+			}
+		}
+		return best
+	case ReplaceFIFO:
+		best := candidates[0]
+		for _, s := range candidates[1:] {
+			if s.EP.LoadedAt < best.EP.LoadedAt {
+				best = s
+			}
+		}
+		return best
+	default:
+		return candidates[d.e.Rand().Intn(len(candidates))]
+	}
+}
+
+// remapLoop is the background kernel thread that services re-mapping
+// requests: it evicts a victim if necessary, uploads the endpoint image to
+// an NI frame, and updates the segment state (§4.2).
+func (d *Driver) remapLoop(p *sim.Proc) {
+	for !d.stopped {
+		for len(d.remapQ) == 0 {
+			d.remapCond.Wait(p)
+			if d.stopped {
+				return
+			}
+		}
+		seg := d.remapQ[0]
+		d.remapQ = d.remapQ[1:]
+		if seg.freed || seg.Resident() {
+			seg.remapQueued = false
+			continue
+		}
+		seg.remapping = true
+		d.remapOne(p, seg)
+		seg.remapping = false
+		seg.remapQueued = false
+		seg.Cond.Broadcast()
+	}
+}
+
+// remapOne performs one residency transition: page-in if needed, victim
+// eviction if all frames are occupied, then the upload. It re-checks freed
+// after every blocking step (the free/remap race of §4.3).
+func (d *Driver) remapOne(p *sim.Proc, seg *Segment) {
+	if d.cfg.RemapScanDelay > 0 {
+		p.Sleep(d.cfg.RemapScanDelay)
+	}
+	if seg.freed {
+		return
+	}
+	if seg.State == OnDisk {
+		p.Sleep(d.cfg.PageInCost)
+		seg.State = OnHostRW
+	}
+	frame := d.freeFrame()
+	if frame < 0 {
+		victim := d.pickVictim()
+		if victim == nil {
+			// All frames quiescing; retry shortly.
+			d.queueRemapLater(seg)
+			return
+		}
+		p.Sleep(d.cfg.UnloadCost)
+		d.submitAndWait(p, &nic.DriverCmd{Op: nic.OpUnload, EP: victim.EP})
+		victim.State = OnHostRO
+		victim.Cond.Broadcast()
+		d.C.Inc("remap.evict")
+		// §4.2: the background thread activates non-empty endpoints. An
+		// evicted endpoint with queued work goes back on the remap queue so
+		// its communication is not stranded.
+		if victim.EP.PendingSends() > 0 || victim.EP.PendingRecvs() > 0 {
+			victim.State = OnHostRW
+			d.queueRemap(victim)
+		}
+		frame = d.freeFrame()
+		if frame < 0 {
+			d.queueRemapLater(seg)
+			return
+		}
+	}
+	if seg.freed {
+		return
+	}
+	p.Sleep(d.cfg.LoadCost)
+	if seg.freed {
+		return
+	}
+	if debugRemap {
+		fmt.Printf("[%v] drv%d remapOne load ep%d epstate=%d segstate=%v\n", sim.Duration(d.e.Now()), d.node, seg.EP.ID, seg.EP.State, seg.State)
+	}
+	d.submitAndWait(p, &nic.DriverCmd{Op: nic.OpLoad, EP: seg.EP, Frame: frame})
+	seg.State = OnNIC
+	d.C.Inc("remap.load")
+}
+
+// queueRemapLater re-queues a remap after a short delay (frames were all
+// quiescing).
+func (d *Driver) queueRemapLater(seg *Segment) {
+	d.e.Schedule(200*sim.Microsecond, func() { d.queueRemap(seg) })
+}
+
+// Remaps reports completed endpoint loads (the §6.4.1 "re-mappings per
+// second" metric counts loads).
+func (d *Driver) Remaps() int64 { return d.C.Get("remap.load") }

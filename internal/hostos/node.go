@@ -1,0 +1,108 @@
+package hostos
+
+import (
+	"fmt"
+
+	"virtnet/internal/netsim"
+	"virtnet/internal/nic"
+	"virtnet/internal/sim"
+)
+
+// Node is one workstation: a host CPU with a local time-slicing scheduler,
+// an NI, and the endpoint segment driver.
+type Node struct {
+	E      *sim.Engine
+	ID     netsim.NodeID
+	NIC    *nic.NIC
+	Driver *Driver
+
+	cfg Config
+	cpu *sim.Semaphore
+	// runnable counts procs that currently want the CPU; the fast path in
+	// Compute skips slicing when the node is uncontended.
+	runnable int
+}
+
+// NewNode builds a workstation attached to net as host id.
+func NewNode(e *sim.Engine, net *netsim.Network, id netsim.NodeID, ncfg nic.Config, ocfg Config) *Node {
+	n := nic.New(e, net, id, ncfg)
+	d := NewDriver(e, id, n, ocfg)
+	return &Node{E: e, ID: id, NIC: n, Driver: d, cfg: ocfg, cpu: sim.NewSemaphore(e, 1)}
+}
+
+// Spawn starts an application process/thread on this node.
+func (n *Node) Spawn(name string, fn func(p *sim.Proc)) *sim.Proc {
+	return n.E.Spawn(fmt.Sprintf("n%d/%s", n.ID, name), fn)
+}
+
+// Compute charges d of CPU time to the calling proc under the node's local
+// scheduler. When other procs contend for the node's CPU, time is shared in
+// Quantum slices (conventional local scheduling — the substrate for the
+// implicit co-scheduling workloads of §6.3).
+func (n *Node) Compute(p *sim.Proc, d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	n.runnable++
+	defer func() { n.runnable-- }()
+	for d > 0 {
+		n.cpu.Acquire(p)
+		q := d
+		if q > n.cfg.Quantum {
+			q = n.cfg.Quantum
+		}
+		p.Sleep(q)
+		n.cpu.Release()
+		d -= q
+		if d > 0 {
+			// Let an equal-priority proc run before taking the CPU back.
+			p.Yield()
+		}
+	}
+}
+
+// Contended reports whether more than one proc wants the CPU right now.
+func (n *Node) Contended() bool { return n.runnable > 1 }
+
+// Cluster is a collection of nodes on one network — the simulated NOW.
+type Cluster struct {
+	E     *sim.Engine
+	Net   *netsim.Network
+	Nodes []*Node
+}
+
+// ClusterConfig bundles the three layers' configurations.
+type ClusterConfig struct {
+	Net netsim.Config
+	NIC nic.Config
+	OS  Config
+}
+
+// DefaultClusterConfig returns the calibrated 100-node NOW parameters.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{
+		Net: netsim.DefaultConfig(),
+		NIC: nic.DefaultConfig(),
+		OS:  DefaultConfig(),
+	}
+}
+
+// NewCluster builds n workstations on a fresh engine.
+func NewCluster(seed int64, n int, cfg ClusterConfig) *Cluster {
+	e := sim.NewEngine(seed)
+	net := netsim.New(e, cfg.Net, n)
+	c := &Cluster{E: e, Net: net}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, NewNode(e, net, netsim.NodeID(i), cfg.NIC, cfg.OS))
+	}
+	return c
+}
+
+// Shutdown stops all simulated threads.
+func (c *Cluster) Shutdown() {
+	for _, n := range c.Nodes {
+		n.NIC.Stop()
+		n.Driver.Stop()
+	}
+	c.E.Shutdown()
+}

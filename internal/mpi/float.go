@@ -1,0 +1,16 @@
+package mpi
+
+import "math"
+
+func f64bits(f float64) uint64     { return math.Float64bits(f) }
+func f64frombits(u uint64) float64 { return math.Float64frombits(u) }
+
+// Common reduction operators.
+var (
+	// OpSum adds.
+	OpSum = func(a, b float64) float64 { return a + b }
+	// OpMax takes the maximum.
+	OpMax = math.Max
+	// OpMin takes the minimum.
+	OpMin = math.Min
+)

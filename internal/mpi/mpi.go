@@ -1,0 +1,466 @@
+// Package mpi is a small message-passing library layered on the virtual
+// network Active Message interface — the analogue of the paper's MPICH port
+// used for the NAS Parallel Benchmarks and Linpack (§6.2). It provides
+// blocking tagged send/receive with an eager fragmentation protocol and the
+// collectives the workloads need: barrier, broadcast, reduce, allreduce,
+// all-to-all, and gather.
+//
+// Each rank owns one endpoint; NewWorld wires the endpoints into one virtual
+// network using virtual node numbers (translation index = rank).
+package mpi
+
+import (
+	"fmt"
+
+	"virtnet/internal/core"
+	"virtnet/internal/hostos"
+	"virtnet/internal/nic"
+	"virtnet/internal/sim"
+)
+
+// Handler indices on the rank endpoints.
+const (
+	hFrag    = 1 // message fragment
+	hFragAck = 2 // fragment reply (credit return)
+)
+
+// AnyTag matches any tag in Recv.
+const AnyTag = -1
+
+type inMsg struct {
+	src  int
+	tag  int
+	data []byte
+}
+
+type partialKey struct {
+	src   int
+	msgid uint64
+}
+
+type partial struct {
+	tag   int
+	data  []byte
+	got   int
+	total int
+}
+
+// Comm is one rank's communicator.
+type Comm struct {
+	w    *World
+	rank int
+	ep   *core.Endpoint
+	node *hostos.Node
+
+	nextID   map[int]uint64 // per-destination message ids
+	partials map[partialKey]*partial
+	// Completed messages are released to the matchable list strictly in
+	// per-source msgid order (MPI's non-overtaking guarantee): a message
+	// whose fragments complete early waits in stash until its predecessors
+	// from the same source are delivered.
+	stash       map[partialKey]*inMsg
+	nextDeliver map[int]uint64
+	complete    []*inMsg
+
+	// Bytes counts payload bytes sent (for workload accounting).
+	BytesSent int64
+	// Reissues counts fragments re-sent after being returned undeliverable.
+	Reissues int64
+	CommTime sim.Duration // time spent inside Send/Recv/collectives
+}
+
+// World is a set of ranks spanning cluster nodes.
+type World struct {
+	Cluster *hostos.Cluster
+	comms   []*Comm
+	running int
+}
+
+// NewWorld creates an n-rank world with rank i on cluster node nodes[i]
+// (pass nil to place rank i on node i). Endpoint keys are derived from the
+// world; all endpoints are wired into one virtual network.
+func NewWorld(c *hostos.Cluster, n int, nodes []int) (*World, error) {
+	if nodes == nil {
+		nodes = make([]int, n)
+		for i := range nodes {
+			nodes[i] = i
+		}
+	}
+	if len(nodes) != n {
+		return nil, fmt.Errorf("mpi: %d ranks but %d placements", n, len(nodes))
+	}
+	w := &World{Cluster: c}
+	eps := make([]*core.Endpoint, n)
+	for i := 0; i < n; i++ {
+		node := c.Nodes[nodes[i]]
+		b := core.Attach(node)
+		ep, err := b.NewEndpoint(core.Key(0x5150+i), n)
+		if err != nil {
+			return nil, err
+		}
+		eps[i] = ep
+		cm := &Comm{
+			w:           w,
+			rank:        i,
+			ep:          ep,
+			node:        node,
+			nextID:      make(map[int]uint64),
+			partials:    make(map[partialKey]*partial),
+			stash:       make(map[partialKey]*inMsg),
+			nextDeliver: make(map[int]uint64),
+		}
+		w.comms = append(w.comms, cm)
+	}
+	if err := core.MakeVirtualNetwork(eps); err != nil {
+		return nil, err
+	}
+	for _, cm := range w.comms {
+		cm.install()
+	}
+	return w, nil
+}
+
+// Comm returns rank i's communicator.
+func (w *World) Comm(i int) *Comm { return w.comms[i] }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.comms) }
+
+// Running reports how many launched ranks have not yet finished.
+func (w *World) Running() int { return w.running }
+
+// Launch spawns fn as rank r's process on its node.
+func (w *World) Launch(fn func(p *sim.Proc, c *Comm)) {
+	for _, cm := range w.comms {
+		cm := cm
+		w.running++
+		cm.node.Spawn(fmt.Sprintf("rank%d", cm.rank), func(p *sim.Proc) {
+			defer func() { w.running-- }()
+			fn(p, cm)
+		})
+	}
+}
+
+// Run spawns fn on every rank and advances the engine until all ranks
+// return (or maxTime elapses). It reports whether all ranks completed.
+func (w *World) Run(fn func(p *sim.Proc, c *Comm), maxTime sim.Duration) bool {
+	w.Launch(fn)
+	deadline := w.Cluster.E.Now().Add(maxTime)
+	for w.running > 0 && w.Cluster.E.Now() < deadline {
+		w.Cluster.E.RunFor(sim.Millisecond)
+	}
+	return w.running == 0
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return len(c.w.comms) }
+
+// Node returns the workstation this rank runs on.
+func (c *Comm) Node() *hostos.Node { return c.node }
+
+// Endpoint exposes the rank's virtual-network endpoint.
+func (c *Comm) Endpoint() *core.Endpoint { return c.ep }
+
+// install registers the fragment handlers.
+func (c *Comm) install() {
+	c.ep.SetHandler(hFrag, func(p *sim.Proc, tok *core.Token, args [4]uint64, payload []byte) {
+		src := int(args[3] >> 32)
+		tag := int(int32(args[3] & 0xffffffff))
+		msgid := args[0]
+		offset := int(args[1])
+		total := int(args[2])
+		k := partialKey{src: src, msgid: msgid}
+		pt, ok := c.partials[k]
+		if !ok {
+			pt = &partial{tag: tag, data: make([]byte, total), total: total}
+			c.partials[k] = pt
+		}
+		copy(pt.data[offset:], payload)
+		pt.got += len(payload)
+		if pt.got >= pt.total {
+			delete(c.partials, k)
+			c.stash[k] = &inMsg{src: src, tag: pt.tag, data: pt.data}
+			c.releaseInOrder(src)
+		}
+		tok.Reply(p, hFragAck, [4]uint64{})
+	})
+	c.ep.SetHandler(hFragAck, func(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte) {})
+	// Undeliverable fragments (returned after prolonged transport failure,
+	// §3.2) are re-issued: message passing promises reliable delivery.
+	c.ep.SetReturnHandler(func(p *sim.Proc, _ nic.NackReason, dstIdx, h int, args [4]uint64, payload []byte) {
+		if h != hFrag || dstIdx < 0 {
+			return
+		}
+		c.Reissues++
+		if len(payload) == 0 {
+			c.ep.Request(p, dstIdx, hFrag, args)
+			return
+		}
+		c.ep.RequestBulk(p, dstIdx, hFrag, payload, args)
+	})
+}
+
+// releaseInOrder moves stashed messages from src into the matchable list in
+// msgid order.
+func (c *Comm) releaseInOrder(src int) {
+	for {
+		k := partialKey{src: src, msgid: c.nextDeliver[src]}
+		m, ok := c.stash[k]
+		if !ok {
+			return
+		}
+		delete(c.stash, k)
+		c.nextDeliver[src]++
+		c.complete = append(c.complete, m)
+	}
+}
+
+// Send transmits data to rank dst with the given tag (>= 0), blocking until
+// every fragment is accepted by the flow-control window.
+func (c *Comm) Send(p *sim.Proc, dst, tag int, data []byte) error {
+	if dst < 0 || dst >= c.Size() {
+		return fmt.Errorf("mpi: bad destination rank %d", dst)
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: tags must be >= 0 (got %d)", tag)
+	}
+	t0 := p.Now()
+	defer func() { c.CommTime += p.Now().Sub(t0) }()
+	mtu := c.node.NIC.Config().MTU
+	msgid := c.nextID[dst]
+	c.nextID[dst]++
+	meta := uint64(c.rank)<<32 | uint64(uint32(tag))
+	total := len(data)
+	c.BytesSent += int64(total)
+	if total == 0 {
+		return c.ep.Request(p, dst, hFrag, [4]uint64{msgid, 0, 0, meta})
+	}
+	for off := 0; off < total; off += mtu {
+		end := off + mtu
+		if end > total {
+			end = total
+		}
+		err := c.ep.RequestBulk(p, dst, hFrag, data[off:end],
+			[4]uint64{msgid, uint64(off), uint64(total), meta})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv blocks until a message from src with a matching tag (or AnyTag)
+// arrives, and returns its payload. A zero-length message returns an empty
+// (non-nil) slice.
+func (c *Comm) Recv(p *sim.Proc, src, tag int) ([]byte, error) {
+	t0 := p.Now()
+	defer func() { c.CommTime += p.Now().Sub(t0) }()
+	wait := sim.Microsecond
+	for {
+		for i, m := range c.complete {
+			if m.src == src && (tag == AnyTag || m.tag == tag) {
+				c.complete = append(c.complete[:i], c.complete[i+1:]...)
+				if m.data == nil {
+					return []byte{}, nil
+				}
+				return m.data, nil
+			}
+		}
+		if c.ep.Poll(p) == 0 {
+			p.Sleep(wait)
+			if wait < 100*sim.Microsecond {
+				wait *= 2
+			}
+		} else {
+			wait = sim.Microsecond
+		}
+	}
+}
+
+// SendRecv performs a simultaneous exchange with two peers (sends to dst,
+// receives from src), the primitive behind pairwise collectives.
+func (c *Comm) SendRecv(p *sim.Proc, dst, sendTag int, data []byte, src, recvTag int) ([]byte, error) {
+	if err := c.Send(p, dst, sendTag, data); err != nil {
+		return nil, err
+	}
+	return c.Recv(p, src, recvTag)
+}
+
+// Collective tags live above 1<<20 to stay clear of user tags.
+const (
+	tagBarrier = 1 << 20
+	tagBcast   = 1<<20 + 64
+	tagReduce  = 1<<20 + 128
+	tagGather  = 1<<20 + 192
+	tagA2A     = 1<<20 + 256
+)
+
+// Barrier synchronizes all ranks (dissemination algorithm, O(log n) rounds).
+func (c *Comm) Barrier(p *sim.Proc) error {
+	n := c.Size()
+	for k := 1; k < n; k <<= 1 {
+		dst := (c.rank + k) % n
+		src := (c.rank - k + n) % n
+		if err := c.Send(p, dst, tagBarrier+log2(k), nil); err != nil {
+			return err
+		}
+		if _, err := c.Recv(p, src, tagBarrier+log2(k)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func log2(k int) int {
+	l := 0
+	for k > 1 {
+		k >>= 1
+		l++
+	}
+	return l
+}
+
+// Bcast distributes root's buffer to all ranks over a binomial tree and
+// returns each rank's copy.
+func (c *Comm) Bcast(p *sim.Proc, root int, data []byte) ([]byte, error) {
+	n := c.Size()
+	vrank := (c.rank - root + n) % n
+	// Standard binomial tree: vrank receives from vrank-mask where mask is
+	// its lowest set bit, then forwards to vrank+m for every m below mask.
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			src := (vrank - mask + root) % n
+			got, err := c.Recv(p, src, tagBcast)
+			if err != nil {
+				return nil, err
+			}
+			data = got
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vrank+mask < n {
+			dst := (vrank + mask + root) % n
+			if err := c.Send(p, dst, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// Reduce combines per-rank float64 vectors with op at root (binomial tree).
+// Non-root ranks return nil.
+func (c *Comm) Reduce(p *sim.Proc, root int, vec []float64, op func(a, b float64) float64) ([]float64, error) {
+	n := c.Size()
+	vrank := (c.rank - root + n) % n
+	acc := append([]float64(nil), vec...)
+	for k := 1; k < n; k <<= 1 {
+		if vrank&k != 0 {
+			dst := ((vrank - k) + root) % n
+			return nil, c.Send(p, dst, tagReduce+log2(k), encodeF64(acc))
+		}
+		if vrank+k < n {
+			src := (vrank + k + root) % n
+			raw, err := c.Recv(p, src, tagReduce+log2(k))
+			if err != nil {
+				return nil, err
+			}
+			other := decodeF64(raw)
+			for i := range acc {
+				acc[i] = op(acc[i], other[i])
+			}
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast.
+func (c *Comm) Allreduce(p *sim.Proc, vec []float64, op func(a, b float64) float64) ([]float64, error) {
+	acc, err := c.Reduce(p, 0, vec, op)
+	if err != nil {
+		return nil, err
+	}
+	var raw []byte
+	if c.rank == 0 {
+		raw = encodeF64(acc)
+	}
+	raw, err = c.Bcast(p, 0, raw)
+	if err != nil {
+		return nil, err
+	}
+	return decodeF64(raw), nil
+}
+
+// Alltoall exchanges bufs[i] with every rank i and returns the received
+// slices (out[i] is from rank i). bufs[c.rank] is copied locally. This is
+// the bisection-stressing pattern of FT and IS (§6.2).
+func (c *Comm) Alltoall(p *sim.Proc, bufs [][]byte) ([][]byte, error) {
+	// CommTime accrues inside Send/Recv; no extra accounting here (it
+	// would double-count).
+	n := c.Size()
+	out := make([][]byte, n)
+	out[c.rank] = append([]byte(nil), bufs[c.rank]...)
+	for round := 1; round < n; round++ {
+		dst := (c.rank + round) % n
+		src := (c.rank - round + n) % n
+		if err := c.Send(p, dst, tagA2A+round, bufs[dst]); err != nil {
+			return nil, err
+		}
+		got, err := c.Recv(p, src, tagA2A+round)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = got
+	}
+	return out, nil
+}
+
+// Gather collects each rank's buffer at root; out[i] is rank i's data at
+// the root, nil elsewhere.
+func (c *Comm) Gather(p *sim.Proc, root int, data []byte) ([][]byte, error) {
+	if c.rank != root {
+		return nil, c.Send(p, root, tagGather, data)
+	}
+	out := make([][]byte, c.Size())
+	out[root] = append([]byte(nil), data...)
+	for i := 0; i < c.Size(); i++ {
+		if i == root {
+			continue
+		}
+		got, err := c.Recv(p, i, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = got
+	}
+	return out, nil
+}
+
+func encodeF64(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		u := f64bits(x)
+		for j := 0; j < 8; j++ {
+			b[i*8+j] = byte(u >> (8 * j))
+		}
+	}
+	return b
+}
+
+func decodeF64(b []byte) []float64 {
+	v := make([]float64, len(b)/8)
+	for i := range v {
+		var u uint64
+		for j := 0; j < 8; j++ {
+			u |= uint64(b[i*8+j]) << (8 * j)
+		}
+		v[i] = f64frombits(u)
+	}
+	return v
+}

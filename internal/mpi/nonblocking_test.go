@@ -1,0 +1,192 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"virtnet/internal/sim"
+)
+
+func TestIsendIrecv(t *testing.T) {
+	w := newWorld(t, 2)
+	var got []byte
+	ok := w.Run(func(p *sim.Proc, c *Comm) {
+		if c.Rank() == 0 {
+			req, err := c.Isend(p, 1, 3, []byte("nonblocking"))
+			if err != nil {
+				t.Errorf("isend: %v", err)
+				return
+			}
+			if _, err := req.Wait(p); err != nil {
+				t.Errorf("wait: %v", err)
+			}
+		} else {
+			req := c.Irecv(0, 3)
+			data, err := req.Wait(p)
+			if err != nil {
+				t.Errorf("irecv wait: %v", err)
+			}
+			got = data
+		}
+	}, 5*sim.Second)
+	if !ok || string(got) != "nonblocking" {
+		t.Fatalf("ok=%v got=%q", ok, got)
+	}
+}
+
+func TestIrecvOverlapsCompute(t *testing.T) {
+	w := newWorld(t, 2)
+	var recvDone, computeDone sim.Time
+	ok := w.Run(func(p *sim.Proc, c *Comm) {
+		if c.Rank() == 0 {
+			p.Sleep(5 * sim.Millisecond) // message arrives "late"
+			c.Send(p, 1, 1, make([]byte, 30000))
+		} else {
+			req := c.Irecv(0, 1)
+			c.Node().Compute(p, 8*sim.Millisecond) // overlap
+			computeDone = p.Now()
+			if _, err := req.Wait(p); err != nil {
+				t.Errorf("wait: %v", err)
+			}
+			recvDone = p.Now()
+		}
+	}, 10*sim.Second)
+	if !ok {
+		t.Fatal("did not complete")
+	}
+	// The receive completes shortly after the compute, not serialized
+	// behind a blocking receive issued afterward.
+	if recvDone.Sub(computeDone) > 3*sim.Millisecond {
+		t.Fatalf("no overlap: compute done %v, recv done %v", computeDone, recvDone)
+	}
+}
+
+func TestWaitallMixed(t *testing.T) {
+	w := newWorld(t, 3)
+	var got [][]byte
+	ok := w.Run(func(p *sim.Proc, c *Comm) {
+		switch c.Rank() {
+		case 0:
+			var reqs []*Request
+			reqs = append(reqs, c.Irecv(1, 7))
+			reqs = append(reqs, c.Irecv(2, 7))
+			s, _ := c.Isend(p, 1, 8, []byte("go"))
+			reqs = append(reqs, s)
+			out, err := c.Waitall(p, reqs)
+			if err != nil {
+				t.Errorf("waitall: %v", err)
+			}
+			got = out
+		case 1:
+			c.Recv(p, 0, 8)
+			c.Send(p, 0, 7, []byte("from-1"))
+		case 2:
+			c.Send(p, 0, 7, []byte("from-2"))
+		}
+	}, 5*sim.Second)
+	if !ok {
+		t.Fatal("did not complete")
+	}
+	if string(got[0]) != "from-1" || string(got[1]) != "from-2" || got[2] != nil {
+		t.Fatalf("got %q %q %v", got[0], got[1], got[2])
+	}
+}
+
+func TestTestNonBlockingPolling(t *testing.T) {
+	w := newWorld(t, 2)
+	polled := 0
+	ok := w.Run(func(p *sim.Proc, c *Comm) {
+		if c.Rank() == 0 {
+			p.Sleep(2 * sim.Millisecond)
+			c.Send(p, 1, 1, []byte("x"))
+		} else {
+			req := c.Irecv(0, 1)
+			for !req.Test(p) {
+				polled++
+				p.Sleep(100 * sim.Microsecond)
+			}
+		}
+	}, 5*sim.Second)
+	if !ok {
+		t.Fatal("did not complete")
+	}
+	if polled < 5 {
+		t.Fatalf("Test completed too eagerly (%d polls)", polled)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	const n = 4
+	w := newWorld(t, n)
+	results := make([][]byte, n)
+	ok := w.Run(func(p *sim.Proc, c *Comm) {
+		var bufs [][]byte
+		if c.Rank() == 1 {
+			for i := 0; i < n; i++ {
+				bufs = append(bufs, bytes.Repeat([]byte{byte(i + 1)}, 100*(i+1)))
+			}
+		}
+		out, err := c.Scatter(p, 1, bufs)
+		if err != nil {
+			t.Errorf("scatter: %v", err)
+		}
+		results[c.Rank()] = out
+	}, 5*sim.Second)
+	if !ok {
+		t.Fatal("did not complete")
+	}
+	for i := 0; i < n; i++ {
+		if len(results[i]) != 100*(i+1) || results[i][0] != byte(i+1) {
+			t.Fatalf("rank %d got %d bytes first=%d", i, len(results[i]), results[i][0])
+		}
+	}
+}
+
+func TestAllgatherRing(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		w := newWorld(t, n)
+		results := make([][][]byte, n)
+		ok := w.Run(func(p *sim.Proc, c *Comm) {
+			mine := bytes.Repeat([]byte{byte(c.Rank() + 10)}, c.Rank()+1)
+			out, err := c.Allgather(p, mine)
+			if err != nil {
+				t.Errorf("allgather: %v", err)
+			}
+			results[c.Rank()] = out
+		}, 10*sim.Second)
+		if !ok {
+			t.Fatalf("n=%d hung", n)
+		}
+		for r := 0; r < n; r++ {
+			for i := 0; i < n; i++ {
+				if len(results[r][i]) != i+1 || results[r][i][0] != byte(i+10) {
+					t.Fatalf("n=%d rank %d slot %d = %v", n, r, i, results[r][i])
+				}
+			}
+		}
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	const n = 3
+	w := newWorld(t, n)
+	results := make([][]float64, n)
+	ok := w.Run(func(p *sim.Proc, c *Comm) {
+		vec := []float64{1, 2, 3, 4, 5, 6}
+		out, err := c.ReduceScatter(p, vec, OpSum)
+		if err != nil {
+			t.Errorf("reducescatter: %v", err)
+		}
+		results[c.Rank()] = out
+	}, 5*sim.Second)
+	if !ok {
+		t.Fatal("did not complete")
+	}
+	// Sum over 3 ranks: [3,6,9,12,15,18], blocks of 2 per rank.
+	want := [][]float64{{3, 6}, {9, 12}, {15, 18}}
+	for r := 0; r < n; r++ {
+		if len(results[r]) != 2 || results[r][0] != want[r][0] || results[r][1] != want[r][1] {
+			t.Fatalf("rank %d got %v want %v", r, results[r], want[r])
+		}
+	}
+}

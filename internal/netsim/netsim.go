@@ -1,0 +1,342 @@
+// Package netsim models the cluster interconnect: a Myrinet-like
+// system-area network with a two-level fat-tree of cut-through switches,
+// 1.2 Gb/s links, ~300 ns per-hop latency, and blocking flow control.
+//
+// The model is packet-granular. A packet traversing a path reserves every
+// directed link on it in a pipelined cut-through schedule: the head arrives
+// at hop i one SwitchLatency after hop i-1, and each link is occupied for
+// the packet's full transmission time. A busy link stalls the packet (and
+// delays its occupancy of downstream links), which is how congestion at a
+// hot receiver spreads back toward senders — the property §2 of the paper
+// calls out for Myrinet. Links are serial resources, so bisection limits
+// (which cap the FT and IS benchmarks in Fig. 5) and receiver-link
+// saturation (which shapes Figs. 6–7) emerge naturally.
+package netsim
+
+import (
+	"fmt"
+
+	"virtnet/internal/sim"
+)
+
+// NodeID identifies a host (0-based).
+type NodeID int
+
+// Packet is one network transmission unit. Payload is opaque to the network;
+// the NI layer stores its frame there. Size is the on-wire size in bytes
+// (payload plus NI header).
+type Packet struct {
+	Src, Dst NodeID
+	Size     int
+	Payload  any
+	// Control marks small protocol packets (acks/nacks) that bypass the
+	// receiver's admission gate — they carry the flow control itself.
+	Control bool
+	// Parked is true while the packet is held in the fabric by back
+	// pressure. The sending NI consults it: a parked packet cannot be
+	// duplicated by a retransmission because the sender's injection path
+	// is the same blocked path.
+	Parked bool
+}
+
+// Config describes the physical network.
+type Config struct {
+	// LinkBytesPerSec is the bandwidth of every link (default 150e6,
+	// i.e. 1.2 Gb/s as in the paper's Myrinet).
+	LinkBytesPerSec float64
+	// SwitchLatency is the cut-through latency per switch hop
+	// (default 300 ns).
+	SwitchLatency sim.Duration
+	// HostsPerLeaf and Spines shape the two-level fat tree. The default
+	// (5 hosts/leaf, 5 spines) realizes the paper's 100-host, 25-switch
+	// network: 20 leaves + 5 spines, 100 host links + 100 uplinks.
+	HostsPerLeaf int
+	Spines       int
+	// DropProb is the probability that a packet is silently lost in the
+	// fabric. The paper's network has rare transmission errors; the NI
+	// transport protocol must mask them. Tests raise this to verify
+	// exactly-once delivery.
+	DropProb float64
+}
+
+// DefaultConfig returns the paper's cluster network parameters.
+func DefaultConfig() Config {
+	return Config{
+		LinkBytesPerSec: 150e6,
+		SwitchLatency:   300, // ns
+		HostsPerLeaf:    5,
+		Spines:          5,
+	}
+}
+
+// link is a unidirectional serial resource.
+type link struct {
+	name   string
+	freeAt sim.Time
+	busy   sim.Duration // cumulative occupancy, for utilization reporting
+	down   bool         // hot-swapped out (§3.2): packets on it are lost
+}
+
+// Network is the simulated interconnect.
+type Network struct {
+	e       *sim.Engine
+	cfg     Config
+	nhosts  int
+	nleaves int
+	// hostUp[h]: host->leaf; hostDown[h]: leaf->host.
+	// up[l][s]: leaf l -> spine s; down[s][l]: spine s -> leaf l.
+	hostUp, hostDown []*link
+	up, down         [][]*link
+	deliver          []func(*Packet)
+	// admission gates model hop-by-hop back pressure: when a receiver's
+	// staging buffers are full, data packets wait in the fabric (per-
+	// destination FIFO) instead of traversing the final link, exactly the
+	// blocking flow control §2 ascribes to Myrinet.
+	admission []func() bool
+	waitq     [][]waiting
+	nsPerByte float64
+	// Stats
+	Sent, Delivered, Dropped int64
+}
+
+// New builds a network for nhosts hosts on engine e.
+func New(e *sim.Engine, cfg Config, nhosts int) *Network {
+	if cfg.LinkBytesPerSec <= 0 {
+		cfg.LinkBytesPerSec = 150e6
+	}
+	if cfg.HostsPerLeaf <= 0 {
+		cfg.HostsPerLeaf = 5
+	}
+	if cfg.Spines <= 0 {
+		cfg.Spines = 5
+	}
+	nleaves := (nhosts + cfg.HostsPerLeaf - 1) / cfg.HostsPerLeaf
+	if nleaves == 0 {
+		nleaves = 1
+	}
+	n := &Network{
+		e:         e,
+		cfg:       cfg,
+		nhosts:    nhosts,
+		nleaves:   nleaves,
+		deliver:   make([]func(*Packet), nhosts),
+		admission: make([]func() bool, nhosts),
+		waitq:     make([][]waiting, nhosts),
+		nsPerByte: 1e9 / cfg.LinkBytesPerSec,
+	}
+	n.hostUp = make([]*link, nhosts)
+	n.hostDown = make([]*link, nhosts)
+	for h := 0; h < nhosts; h++ {
+		n.hostUp[h] = &link{name: fmt.Sprintf("h%d->leaf", h)}
+		n.hostDown[h] = &link{name: fmt.Sprintf("leaf->h%d", h)}
+	}
+	n.up = make([][]*link, nleaves)
+	n.down = make([][]*link, cfg.Spines)
+	for s := 0; s < cfg.Spines; s++ {
+		n.down[s] = make([]*link, nleaves)
+	}
+	for l := 0; l < nleaves; l++ {
+		n.up[l] = make([]*link, cfg.Spines)
+		for s := 0; s < cfg.Spines; s++ {
+			n.up[l][s] = &link{name: fmt.Sprintf("leaf%d->spine%d", l, s)}
+			n.down[s][l] = &link{name: fmt.Sprintf("spine%d->leaf%d", s, l)}
+		}
+	}
+	return n
+}
+
+// NumHosts returns the number of attached host ports.
+func (n *Network) NumHosts() int { return n.nhosts }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Attach registers the delivery callback for host id (its NI receive path).
+func (n *Network) Attach(id NodeID, fn func(*Packet)) {
+	n.deliver[id] = fn
+}
+
+func (n *Network) leafOf(h NodeID) int { return int(h) / n.cfg.HostsPerLeaf }
+
+// Routes returns the number of distinct paths between distinct hosts on
+// different leaves (one per spine). Same-leaf pairs have a single path.
+func (n *Network) Routes(src, dst NodeID) int {
+	if n.leafOf(src) == n.leafOf(dst) {
+		return 1
+	}
+	return n.cfg.Spines
+}
+
+// path returns the ordered directed links from src to dst using the given
+// route index (spine selector for inter-leaf traffic).
+func (n *Network) path(src, dst NodeID, route int) []*link {
+	if src == dst {
+		return nil
+	}
+	ls, ld := n.leafOf(src), n.leafOf(dst)
+	if ls == ld {
+		return []*link{n.hostUp[src], n.hostDown[dst]}
+	}
+	s := route % n.cfg.Spines
+	if s < 0 {
+		s += n.cfg.Spines
+	}
+	return []*link{n.hostUp[src], n.up[ls][s], n.down[s][ld], n.hostDown[dst]}
+}
+
+// PathHops returns the number of switch hops between two hosts.
+func (n *Network) PathHops(src, dst NodeID) int {
+	if src == dst {
+		return 0
+	}
+	if n.leafOf(src) == n.leafOf(dst) {
+		return 1
+	}
+	return 3
+}
+
+// waiting is a packet held by back pressure short of its destination.
+type waiting struct {
+	pkt   *Packet
+	route int
+}
+
+// SetAdmission installs the receiver-side gate for host id: while ok
+// returns false, data packets destined to id queue in the fabric.
+func (n *Network) SetAdmission(id NodeID, ok func() bool) {
+	n.admission[id] = ok
+}
+
+// Admit drains host id's back-pressure queue while its gate accepts.
+func (n *Network) Admit(id NodeID) {
+	adm := n.admission[id]
+	for len(n.waitq[id]) > 0 && (adm == nil || adm()) {
+		w := n.waitq[id][0]
+		n.waitq[id] = n.waitq[id][1:]
+		w.pkt.Parked = false
+		n.inject(w.pkt, w.route)
+	}
+}
+
+// Blocked reports packets currently held by back pressure for host id.
+func (n *Network) Blocked(id NodeID) int { return len(n.waitq[id]) }
+
+// Send injects a packet. route selects among alternative spine paths (the
+// NI binds each logical channel to a fixed route, giving FIFO order per
+// channel and path diversity across channels). Delivery happens via the
+// destination's attached callback at the simulated arrival time. Loopback
+// (src == dst) delivers after one switch latency without using links.
+// Data packets for a receiver whose admission gate is closed wait in the
+// fabric and are released by Admit.
+func (n *Network) Send(pkt *Packet, route int) {
+	if !pkt.Control && pkt.Src != pkt.Dst {
+		if adm := n.admission[pkt.Dst]; adm != nil {
+			if len(n.waitq[pkt.Dst]) > 0 || !adm() {
+				pkt.Parked = true
+				n.waitq[pkt.Dst] = append(n.waitq[pkt.Dst], waiting{pkt, route})
+				return
+			}
+		}
+	}
+	n.inject(pkt, route)
+}
+
+func (n *Network) inject(pkt *Packet, route int) {
+	n.Sent++
+	if n.cfg.DropProb > 0 && n.e.Rand().Float64() < n.cfg.DropProb {
+		n.Dropped++
+		return
+	}
+	if pkt.Src == pkt.Dst {
+		n.e.Schedule(n.cfg.SwitchLatency, func() { n.handoff(pkt) })
+		return
+	}
+	links := n.path(pkt.Src, pkt.Dst, route)
+	for _, L := range links {
+		if L.down {
+			// The route crosses a swapped-out link or switch: the packet
+			// is lost. The NI transport masks this by retransmitting, and
+			// after bounded retries rebinds the message to a channel with
+			// a different route (§5.1) — reconfiguration is transparent.
+			n.Dropped++
+			return
+		}
+	}
+	tx := sim.Duration(float64(pkt.Size) * n.nsPerByte)
+	hop := n.cfg.SwitchLatency
+
+	// Pipelined cut-through reservation with stall propagation: find the
+	// earliest t0 such that every link i is free at t0 + i*hop.
+	t0 := n.e.Now()
+	for {
+		shifted := false
+		for i, L := range links {
+			arr := t0.Add(sim.Duration(i) * hop)
+			if L.freeAt > arr {
+				t0 = t0.Add(L.freeAt.Sub(arr))
+				shifted = true
+				break
+			}
+		}
+		if !shifted {
+			break
+		}
+	}
+	for i, L := range links {
+		start := t0.Add(sim.Duration(i) * hop)
+		L.busy += tx
+		L.freeAt = start.Add(tx)
+	}
+	done := t0.Add(sim.Duration(len(links))*hop + tx)
+	n.e.ScheduleAt(done, func() { n.handoff(pkt) })
+}
+
+func (n *Network) handoff(pkt *Packet) {
+	n.Delivered++
+	if fn := n.deliver[pkt.Dst]; fn != nil {
+		fn(pkt)
+	}
+}
+
+// Utilization returns the busy fraction of the most-utilized inter-switch
+// link over the interval [0, now]. Useful for confirming bisection limits.
+func (n *Network) Utilization() float64 {
+	now := n.e.Now()
+	if now == 0 {
+		return 0
+	}
+	var max sim.Duration
+	for l := 0; l < n.nleaves; l++ {
+		for s := 0; s < n.cfg.Spines; s++ {
+			if n.up[l][s].busy > max {
+				max = n.up[l][s].busy
+			}
+			if n.down[s][l].busy > max {
+				max = n.down[s][l].busy
+			}
+		}
+	}
+	return float64(max) / float64(now)
+}
+
+// TxTime returns the serial transmission time for size bytes on one link.
+func (n *Network) TxTime(size int) sim.Duration {
+	return sim.Duration(float64(size) * n.nsPerByte)
+}
+
+// SetSpineDown hot-swaps spine switch s out of (or back into) the fabric:
+// all its links drop traffic. Paths through other spines are unaffected, so
+// transports with multi-path channels keep communicating (§3.2's
+// incremental-scaling/hot-swap requirement).
+func (n *Network) SetSpineDown(s int, down bool) {
+	for l := 0; l < n.nleaves; l++ {
+		n.up[l][s].down = down
+		n.down[s][l].down = down
+	}
+}
+
+// SetHostLinkDown hot-swaps host h's access links (both directions).
+func (n *Network) SetHostLinkDown(h NodeID, down bool) {
+	n.hostUp[h].down = down
+	n.hostDown[h].down = down
+}

@@ -1,0 +1,322 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"virtnet/internal/sim"
+)
+
+func build(t *testing.T, nhosts int) (*sim.Engine, *Network) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	n := New(e, DefaultConfig(), nhosts)
+	return e, n
+}
+
+func TestTopologyShape(t *testing.T) {
+	_, n := build(t, 100)
+	if n.NumHosts() != 100 {
+		t.Fatalf("NumHosts = %d", n.NumHosts())
+	}
+	if n.nleaves != 20 {
+		t.Fatalf("leaves = %d, want 20 (100 hosts / 5 per leaf)", n.nleaves)
+	}
+	// 20 leaves + 5 spines = the paper's 25 switches.
+	if n.nleaves+n.cfg.Spines != 25 {
+		t.Fatalf("switches = %d, want 25", n.nleaves+n.cfg.Spines)
+	}
+}
+
+func TestPathHops(t *testing.T) {
+	_, n := build(t, 100)
+	if got := n.PathHops(0, 0); got != 0 {
+		t.Fatalf("loopback hops = %d", got)
+	}
+	if got := n.PathHops(0, 4); got != 1 {
+		t.Fatalf("same-leaf hops = %d, want 1", got)
+	}
+	if got := n.PathHops(0, 99); got != 3 {
+		t.Fatalf("cross-leaf hops = %d, want 3", got)
+	}
+}
+
+func TestDeliveryLatencyUnloaded(t *testing.T) {
+	e, n := build(t, 100)
+	var at sim.Time
+	n.Attach(99, func(p *Packet) { at = e.Now() })
+	pkt := &Packet{Src: 0, Dst: 99, Size: 150}
+	n.Send(pkt, 0)
+	e.Run()
+	// 4 links, 3 switches (+1 hop charge for the final deposit), 150 bytes
+	// at 150 MB/s = 1000 ns tx. Expect 4*300 + 1000 = 2200 ns.
+	want := sim.Time(4*300 + 1000)
+	if at != want {
+		t.Fatalf("delivered at %d, want %d", at, want)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	e, n := build(t, 100)
+	var times []sim.Time
+	n.Attach(1, func(p *Packet) { times = append(times, e.Now()) })
+	// Two packets from host 0 to host 1 (same leaf): the host uplink is
+	// serial, so deliveries must be one tx-time apart.
+	for i := 0; i < 2; i++ {
+		n.Send(&Packet{Src: 0, Dst: 1, Size: 1500}, 0)
+	}
+	e.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d packets", len(times))
+	}
+	tx := n.TxTime(1500)
+	if gap := times[1].Sub(times[0]); gap != tx {
+		t.Fatalf("delivery gap = %v, want %v (serialized)", gap, tx)
+	}
+}
+
+func TestReceiverContentionSpreads(t *testing.T) {
+	e, n := build(t, 100)
+	count := 0
+	n.Attach(0, func(p *Packet) { count++ })
+	// 10 senders on different leaves all target host 0: the host-0 down
+	// link is the bottleneck; aggregate delivery rate is one link.
+	const size = 8192
+	const per = 5
+	for s := 1; s <= 10; s++ {
+		src := NodeID(s * 5) // different leaves
+		for i := 0; i < per; i++ {
+			n.Send(&Packet{Src: src, Dst: 0, Size: size}, s)
+		}
+	}
+	e.Run()
+	if count != 50 {
+		t.Fatalf("delivered %d, want 50", count)
+	}
+	elapsed := e.Now()
+	minSerial := n.TxTime(size * 50)
+	if elapsed < sim.Time(minSerial) {
+		t.Fatalf("finished in %v < serial bound %v: receiver link not serializing", elapsed, minSerial)
+	}
+}
+
+func TestMultiPathUsesDistinctSpines(t *testing.T) {
+	_, n := build(t, 100)
+	if r := n.Routes(0, 99); r != 5 {
+		t.Fatalf("routes = %d, want 5", r)
+	}
+	if r := n.Routes(0, 3); r != 1 {
+		t.Fatalf("same-leaf routes = %d, want 1", r)
+	}
+	p0 := n.path(0, 99, 0)
+	p1 := n.path(0, 99, 1)
+	if p0[1] == p1[1] {
+		t.Fatal("different routes share the same uplink spine")
+	}
+}
+
+func TestDropProb(t *testing.T) {
+	e := sim.NewEngine(5)
+	cfg := DefaultConfig()
+	cfg.DropProb = 1.0
+	n := New(e, cfg, 10)
+	got := 0
+	n.Attach(1, func(p *Packet) { got++ })
+	for i := 0; i < 20; i++ {
+		n.Send(&Packet{Src: 0, Dst: 1, Size: 100}, 0)
+	}
+	e.Run()
+	if got != 0 {
+		t.Fatalf("delivered %d with DropProb=1", got)
+	}
+	if n.Dropped != 20 {
+		t.Fatalf("Dropped = %d, want 20", n.Dropped)
+	}
+}
+
+func TestLoopbackDelivery(t *testing.T) {
+	e, n := build(t, 4)
+	var got *Packet
+	n.Attach(2, func(p *Packet) { got = p })
+	n.Send(&Packet{Src: 2, Dst: 2, Size: 64}, 0)
+	e.Run()
+	if got == nil {
+		t.Fatal("loopback packet not delivered")
+	}
+	if e.Now() != sim.Time(DefaultConfig().SwitchLatency) {
+		t.Fatalf("loopback latency = %d", e.Now())
+	}
+}
+
+func TestInOrderPerRoute(t *testing.T) {
+	e, n := build(t, 100)
+	var seq []int
+	n.Attach(99, func(p *Packet) { seq = append(seq, p.Payload.(int)) })
+	for i := 0; i < 20; i++ {
+		n.Send(&Packet{Src: 0, Dst: 99, Size: 100 + 50*i, Payload: i}, 2)
+	}
+	e.Run()
+	for i, v := range seq {
+		if v != i {
+			t.Fatalf("out-of-order delivery on fixed route: %v", seq)
+		}
+	}
+}
+
+// Property: every packet sent between valid hosts (no drops) is delivered,
+// and delivery time is at least hops*switchLatency + txTime.
+func TestDeliveryProperty(t *testing.T) {
+	f := func(pairs []struct{ S, D uint8 }) bool {
+		e := sim.NewEngine(9)
+		n := New(e, DefaultConfig(), 30)
+		delivered := 0
+		sent := 0
+		for h := 0; h < 30; h++ {
+			n.Attach(NodeID(h), func(p *Packet) { delivered++ })
+		}
+		for _, pr := range pairs {
+			src := NodeID(pr.S % 30)
+			dst := NodeID(pr.D % 30)
+			n.Send(&Packet{Src: src, Dst: dst, Size: 128}, int(pr.S))
+			sent++
+		}
+		e.Run()
+		return delivered == sent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: aggregate throughput through one link never exceeds link rate.
+func TestLinkRateProperty(t *testing.T) {
+	f := func(count8 uint8, size16 uint16) bool {
+		count := int(count8%40) + 2
+		size := int(size16%8000) + 100
+		e := sim.NewEngine(11)
+		n := New(e, DefaultConfig(), 10)
+		last := sim.Time(0)
+		n.Attach(1, func(p *Packet) { last = e.Now() })
+		for i := 0; i < count; i++ {
+			n.Send(&Packet{Src: 0, Dst: 1, Size: size}, 0)
+		}
+		e.Run()
+		minTime := n.TxTime(size * count) // serial bound on shared links
+		return last >= sim.Time(minTime)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilizationReporting(t *testing.T) {
+	e, n := build(t, 100)
+	n.Attach(99, func(p *Packet) {})
+	for i := 0; i < 100; i++ {
+		n.Send(&Packet{Src: 0, Dst: 99, Size: 8192}, 0)
+	}
+	e.Run()
+	if u := n.Utilization(); u <= 0.5 {
+		t.Fatalf("utilization = %f, want high (saturated single route)", u)
+	}
+}
+
+func TestSpineHotSwapDropsOnlyItsPaths(t *testing.T) {
+	e, n := build(t, 100)
+	delivered := 0
+	n.Attach(99, func(p *Packet) { delivered++ })
+	n.SetSpineDown(0, true)
+	// Route 0 uses spine 0 (down); route 1 uses spine 1 (up).
+	n.Send(&Packet{Src: 0, Dst: 99, Size: 100}, 0)
+	n.Send(&Packet{Src: 0, Dst: 99, Size: 100}, 1)
+	e.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want exactly 1 (spine-0 path down)", delivered)
+	}
+	if n.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", n.Dropped)
+	}
+	// Swap the spine back in: route 0 works again.
+	n.SetSpineDown(0, false)
+	n.Send(&Packet{Src: 0, Dst: 99, Size: 100}, 0)
+	e.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered %d after restore, want 2", delivered)
+	}
+}
+
+func TestHostLinkHotSwap(t *testing.T) {
+	e, n := build(t, 10)
+	delivered := 0
+	n.Attach(1, func(p *Packet) { delivered++ })
+	n.SetHostLinkDown(1, true)
+	n.Send(&Packet{Src: 0, Dst: 1, Size: 64}, 0)
+	e.Run()
+	if delivered != 0 {
+		t.Fatal("delivered through a down host link")
+	}
+	n.SetHostLinkDown(1, false)
+	n.Send(&Packet{Src: 0, Dst: 1, Size: 64}, 0)
+	e.Run()
+	if delivered != 1 {
+		t.Fatal("not delivered after link restored")
+	}
+}
+
+func TestAdmissionGateParksAndReleases(t *testing.T) {
+	e, n := build(t, 10)
+	open := false
+	delivered := 0
+	n.SetAdmission(1, func() bool { return open })
+	n.Attach(1, func(p *Packet) { delivered++ })
+	pk := &Packet{Src: 0, Dst: 1, Size: 100}
+	n.Send(pk, 0)
+	e.Run()
+	if delivered != 0 {
+		t.Fatal("delivered through a closed gate")
+	}
+	if !pk.Parked || n.Blocked(1) != 1 {
+		t.Fatalf("packet not parked: parked=%v blocked=%d", pk.Parked, n.Blocked(1))
+	}
+	open = true
+	n.Admit(1)
+	e.Run()
+	if delivered != 1 {
+		t.Fatal("not delivered after gate opened")
+	}
+	if pk.Parked {
+		t.Fatal("Parked flag not cleared on release")
+	}
+}
+
+func TestControlPacketsBypassGate(t *testing.T) {
+	e, n := build(t, 10)
+	n.SetAdmission(1, func() bool { return false })
+	delivered := 0
+	n.Attach(1, func(p *Packet) { delivered++ })
+	n.Send(&Packet{Src: 0, Dst: 1, Size: 16, Control: true}, 0)
+	e.Run()
+	if delivered != 1 {
+		t.Fatal("control packet blocked by admission gate")
+	}
+}
+
+func TestGatePreservesFIFO(t *testing.T) {
+	e, n := build(t, 10)
+	open := false
+	var order []int
+	n.SetAdmission(1, func() bool { return open })
+	n.Attach(1, func(p *Packet) { order = append(order, p.Payload.(int)) })
+	for i := 0; i < 5; i++ {
+		n.Send(&Packet{Src: 0, Dst: 1, Size: 100, Payload: i}, 0)
+	}
+	e.Run()
+	open = true
+	n.Admit(1)
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("parked packets released out of order: %v", order)
+		}
+	}
+}

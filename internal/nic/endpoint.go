@@ -1,0 +1,228 @@
+package nic
+
+import (
+	"virtnet/internal/netsim"
+	"virtnet/internal/sim"
+)
+
+// EPState is the residency/service state of an endpoint image as seen by
+// the NI. (The host OS keeps its own four-state view; see internal/hostos.)
+type EPState int
+
+const (
+	// EPHost: the image lives in host memory; the NI cannot service it.
+	EPHost EPState = iota
+	// EPResident: the image occupies an NI endpoint frame.
+	EPResident
+	// EPQuiescing: the driver asked to unload/free the image but it still
+	// has unacknowledged messages in flight; no new sends are started and
+	// the unload completes when the last in-flight message resolves
+	// (the transient states of §5.3).
+	EPQuiescing
+)
+
+// SendDesc is one entry in an endpoint's send descriptor queue.
+type SendDesc struct {
+	DstNI   netsim.NodeID
+	DstEP   int
+	Key     uint64
+	SrcEP   int
+	Handler int
+	IsReply bool
+	Args    [4]uint64
+	Payload []byte // nil for short messages; <= MTU (library fragments)
+	// ReplyKey is the sender's endpoint key, carried so the receiver's
+	// reply can pass the sender's protection check.
+	ReplyKey uint64
+	// MsgID is an end-to-end per-(source,destination)-endpoint message
+	// number assigned once when the message is created. It survives channel
+	// unbinding and rebinding, which retransmit under fresh channel
+	// sequence numbers; the receiver uses it to discard duplicates so
+	// delivery stays exactly-once (§5.3's "carefully unbinds").
+	MsgID uint64
+
+	// NextTry delays service after a NACK (backoff); zero means ready.
+	NextTry sim.Time
+	// FirstSend is when the first transmission attempt happened; used for
+	// the prolonged-absence return-to-sender bound.
+	FirstSend sim.Time
+	// Enq is when the host posted the descriptor.
+	Enq sim.Time
+
+	// nacks counts transient NACKs for this message, driving the
+	// descriptor-level exponential backoff.
+	nacks int
+}
+
+// RecvMsg is one entry in an endpoint's receive queue.
+type RecvMsg struct {
+	SrcNI    netsim.NodeID
+	SrcEP    int
+	Handler  int
+	IsReply  bool
+	IsReturn bool // undeliverable message returned to sender (§3.2)
+	Reason   NackReason
+	Args     [4]uint64
+	Payload  []byte
+	ReplyKey uint64
+	Arrive   sim.Time
+	// Visible is when a host poll can first observe the message (deposit
+	// plus SBUS descriptor read latency).
+	Visible sim.Time
+}
+
+// EndpointImage is the NI-visible representation of an endpoint: its message
+// queues and protection state. The same object serves as backing store in
+// host memory when the endpoint is not resident — residency transitions move
+// (virtually) the image across the SBUS but, in the simulation, only charge
+// the transfer time.
+type EndpointImage struct {
+	ID    int
+	Node  netsim.NodeID
+	Key   uint64
+	State EPState
+	Frame int // frame index when resident, else -1
+
+	// SendQ holds outgoing requests; RepSendQ holds outgoing replies.
+	// Keeping them separate preserves Active Messages' deadlock-freedom
+	// argument: reply progress never waits behind a stalled request.
+	SendQ    *ring[*SendDesc]
+	RepSendQ *ring[*SendDesc]
+	// RecvQ holds incoming requests; RepQ holds replies and returned
+	// messages. The request queue depth is what user-level credits guard.
+	RecvQ *ring[*RecvMsg]
+	RepQ  *ring[*RecvMsg]
+
+	// EventArmed marks that a host thread wants a wakeup on arrival
+	// (endpoint event mask, §3.3). The NI calls DriverPort.Notify.
+	EventArmed bool
+
+	// OnDeliver, when set, runs in NI context after a message is deposited.
+	// The core library uses it for bookkeeping that the NI performs as part
+	// of the deposit (e.g. statistics); it must not block.
+	OnDeliver func(*RecvMsg)
+
+	// LastActive is the last time the NI serviced this endpoint (send or
+	// deliver); the LRU replacement ablation uses it.
+	LastActive sim.Time
+	// LoadedAt is when the endpoint last became resident (FIFO ablation).
+	LoadedAt sim.Time
+
+	inflight int // packets in the network from this endpoint
+	// unloadWait holds the pending driver command while quiescing.
+	unloadWait *DriverCmd
+
+	// seen tracks delivered MsgIDs per source endpoint for end-to-end
+	// duplicate suppression. It is part of the endpoint image (it moves
+	// with the endpoint across residency transitions).
+	seen map[int]*msgWindow
+}
+
+// msgWindow is a compact delivered-set: ids <= contig are all delivered;
+// sparse holds delivered ids above the contiguous point (gaps arise while
+// earlier messages are being retried or after they were returned).
+type msgWindow struct {
+	contig uint64
+	sparse map[uint64]struct{}
+}
+
+// SeenMsg reports whether id from srcEP was already delivered.
+func (ep *EndpointImage) SeenMsg(srcEP int, id uint64) bool {
+	w, ok := ep.seen[srcEP]
+	if !ok {
+		return false
+	}
+	if id <= w.contig {
+		return true
+	}
+	_, dup := w.sparse[id]
+	return dup
+}
+
+// MarkMsg records a delivered id from srcEP.
+func (ep *EndpointImage) MarkMsg(srcEP int, id uint64) {
+	if ep.seen == nil {
+		ep.seen = make(map[int]*msgWindow)
+	}
+	w, ok := ep.seen[srcEP]
+	if !ok {
+		w = &msgWindow{sparse: make(map[uint64]struct{})}
+		ep.seen[srcEP] = w
+	}
+	if id <= w.contig {
+		return
+	}
+	w.sparse[id] = struct{}{}
+	for {
+		if _, ok := w.sparse[w.contig+1]; !ok {
+			break
+		}
+		w.contig++
+		delete(w.sparse, w.contig)
+	}
+	// A message returned to its sender leaves a permanent gap; bound the
+	// sparse set by force-advancing past the oldest gap. Returned ids are
+	// never reused, so skipping them cannot mask a duplicate.
+	if len(w.sparse) > 4096 {
+		min := uint64(1<<63 - 1)
+		for k := range w.sparse {
+			if k < min {
+				min = k
+			}
+		}
+		w.contig = min
+		delete(w.sparse, min)
+		for {
+			if _, ok := w.sparse[w.contig+1]; !ok {
+				break
+			}
+			w.contig++
+			delete(w.sparse, w.contig)
+		}
+	}
+}
+
+// NewEndpointImage allocates an endpoint image with the given queue depths.
+func NewEndpointImage(id int, node netsim.NodeID, sendDepth, recvDepth int) *EndpointImage {
+	return &EndpointImage{
+		ID:       id,
+		Node:     node,
+		Frame:    -1,
+		SendQ:    newRing[*SendDesc](sendDepth),
+		RepSendQ: newRing[*SendDesc](sendDepth),
+		RecvQ:    newRing[*RecvMsg](recvDepth),
+		RepQ:     newRing[*RecvMsg](recvDepth),
+	}
+}
+
+// Resident reports whether the NI can service the endpoint.
+func (ep *EndpointImage) Resident() bool { return ep.State == EPResident }
+
+// PendingSends reports the number of queued send descriptors.
+func (ep *EndpointImage) PendingSends() int { return ep.SendQ.Len() + ep.RepSendQ.Len() }
+
+// sendQueueFor returns the queue a descriptor belongs to.
+func (ep *EndpointImage) sendQueueFor(d *SendDesc) *ring[*SendDesc] {
+	if d.IsReply {
+		return ep.RepSendQ
+	}
+	return ep.SendQ
+}
+
+// PendingRecvs reports queued incoming requests plus replies.
+func (ep *EndpointImage) PendingRecvs() int { return ep.RecvQ.Len() + ep.RepQ.Len() }
+
+// PopRecv dequeues the next received message visible at time now,
+// preferring replies (they carry completion credits and handlers expect
+// them promptly).
+func (ep *EndpointImage) PopRecv(now sim.Time) (*RecvMsg, bool) {
+	if m, ok := ep.RepQ.Peek(); ok && m.Visible <= now {
+		ep.RepQ.Pop()
+		return m, true
+	}
+	if m, ok := ep.RecvQ.Peek(); ok && m.Visible <= now {
+		ep.RecvQ.Pop()
+		return m, true
+	}
+	return nil, false
+}

@@ -1,0 +1,190 @@
+package nic
+
+import (
+	"virtnet/internal/netsim"
+	"virtnet/internal/sim"
+)
+
+// This file implements the two protocol extensions the paper's conclusion
+// (§8) identifies as enabled by additional NI processing power:
+//
+//  1. round-trip time estimation for scheduling retransmissions, and
+//  2. piggybacking acknowledgments to reduce network occupancy.
+//
+// Both are off by default so the base system matches the paper; the
+// ablation benches turn them on.
+
+// rttEst is a Jacobson-style mean/deviation estimator per remote NI.
+type rttEst struct {
+	srtt   sim.Duration
+	rttvar sim.Duration
+	valid  bool
+}
+
+// sample folds one RTT measurement into the estimate.
+func (r *rttEst) sample(rtt sim.Duration) {
+	if !r.valid {
+		r.srtt = rtt
+		r.rttvar = rtt / 2
+		r.valid = true
+		return
+	}
+	diff := r.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	r.rttvar += (diff - r.rttvar) / 4
+	r.srtt += (rtt - r.srtt) / 8
+}
+
+// rto returns the retransmission timeout.
+func (r *rttEst) rto(min sim.Duration) sim.Duration {
+	if !r.valid {
+		return 0
+	}
+	v := r.srtt + 4*r.rttvar
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// rttFor returns (allocating) the estimator for a peer.
+func (n *NIC) rttFor(peer netsim.NodeID) *rttEst {
+	if n.rtt == nil {
+		n.rtt = make(map[netsim.NodeID]*rttEst)
+	}
+	est, ok := n.rtt[peer]
+	if !ok {
+		est = &rttEst{}
+		n.rtt[peer] = est
+	}
+	return est
+}
+
+// observeRTT records an ack's reflected timestamp. For retransmitted
+// attempts the stamp still dates from the first transmission, so the
+// measurement is ambiguous (Karn) but is a valid *upper bound*: it is used
+// only when it would raise the estimate, which lets the estimator escape a
+// too-short initial timeout that retransmits every message.
+func (n *NIC) observeRTT(pkt *wirePkt, retries int) {
+	if !n.cfg.AdaptiveTimeout {
+		return
+	}
+	est := n.rttFor(pkt.SrcNI)
+	rtt := n.e.Now().Sub(pkt.Stamp)
+	if retries == 0 || !est.valid || rtt > est.srtt {
+		est.sample(rtt)
+	}
+}
+
+// retransDelay picks the base retransmission delay for a channel.
+func (n *NIC) retransDelay(ch *channel) sim.Duration {
+	if n.cfg.AdaptiveTimeout {
+		if rto := n.rttFor(ch.dst).rto(n.cfg.MinRTO); rto > 0 {
+			// Apply channel-level exponential backoff on top.
+			d := rto
+			for i := 0; i < ch.retries; i++ {
+				d *= 2
+			}
+			if d > n.cfg.RetransMax {
+				d = n.cfg.RetransMax
+			}
+			return d
+		}
+	}
+	return ch.backoff
+}
+
+// ---- Piggybacked acknowledgments ----
+
+// piggyAck identifies one acknowledgment riding in another packet.
+type piggyAck struct {
+	Chan  int
+	Seq   uint64
+	Epoch uint32
+	Stamp sim.Time
+}
+
+// queueAck records a positive acknowledgment for peer. With piggybacking
+// disabled it is sent immediately as a standalone control packet; otherwise
+// it waits (briefly) for a data packet headed to peer.
+func (n *NIC) queueAck(p *sim.Proc, data *wirePkt) {
+	if !n.cfg.PiggybackAcks {
+		n.sendControl(p, data, pktAck, NackNone)
+		return
+	}
+	peer := data.SrcNI
+	if n.pendingAcks == nil {
+		n.pendingAcks = make(map[netsim.NodeID][]piggyAck)
+	}
+	n.pendingAcks[peer] = append(n.pendingAcks[peer], piggyAck{
+		Chan: data.Chan, Seq: data.Seq, Epoch: data.Epoch, Stamp: data.Stamp,
+	})
+	n.C.Inc("tx.ack.queued")
+	if len(n.pendingAcks[peer]) == 1 {
+		// First pending ack for this peer: bound its wait.
+		peer := peer
+		n.e.Schedule(n.cfg.AckDelay, func() {
+			n.work = append(n.work, func(q *sim.Proc) { n.flushAcks(q, peer) })
+			n.wake()
+		})
+	}
+}
+
+// takeAcks removes up to max pending acks for peer.
+func (n *NIC) takeAcks(peer netsim.NodeID, max int) []piggyAck {
+	pend := n.pendingAcks[peer]
+	if len(pend) == 0 {
+		return nil
+	}
+	k := len(pend)
+	if k > max {
+		k = max
+	}
+	out := pend[:k:k]
+	rest := pend[k:]
+	if len(rest) == 0 {
+		delete(n.pendingAcks, peer)
+	} else {
+		n.pendingAcks[peer] = rest
+	}
+	return out
+}
+
+// flushAcks sends any still-pending acks for peer as one batched control
+// packet (the AckDelay expired with no data packet to carry them).
+func (n *NIC) flushAcks(p *sim.Proc, peer netsim.NodeID) {
+	acks := n.takeAcks(peer, 1<<30)
+	if len(acks) == 0 {
+		return
+	}
+	p.Sleep(n.cfg.AckSend)
+	n.C.Inc("tx.ack.flush")
+	ctl := &wirePkt{
+		Kind:  pktAck,
+		SrcNI: n.id,
+		DstNI: peer,
+		Piggy: acks,
+	}
+	n.inject(ctl, acks[0].Chan)
+}
+
+// processPiggy resolves acknowledgments carried in pkt (data or batched
+// control) against our channels to the packet's sender.
+func (n *NIC) processPiggy(p *sim.Proc, pkt *wirePkt) {
+	for _, a := range pkt.Piggy {
+		p.Sleep(n.cfg.PiggyAckCost)
+		n.C.Inc("rx.ack.piggy")
+		ch := n.chanFor(pkt.SrcNI, a.Chan)
+		if ch == nil || ch.inflight == nil || ch.inflight.Seq != a.Seq {
+			n.C.Inc("rx.ack.stale")
+			continue
+		}
+		n.observeRTT(&wirePkt{SrcNI: pkt.SrcNI, Stamp: a.Stamp}, ch.retries)
+		n.resolveChannel(ch)
+	}
+	if len(pkt.Piggy) > 0 {
+		n.wake()
+	}
+}

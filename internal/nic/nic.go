@@ -1,0 +1,912 @@
+// Package nic models the cluster's intelligent network interface (the
+// LANai): endpoint frames holding the resident set of endpoints, a weighted
+// round-robin service discipline with a loiter bound, stop-and-wait
+// transport over multiple logical channels with positive acknowledgment,
+// randomized exponential backoff, NACKs that encode why delivery failed,
+// return-to-sender for unrecoverable conditions, and an asynchronous
+// driver/NI command protocol with quiescing for endpoints that have
+// unacknowledged messages in flight (§5 of the paper).
+//
+// The firmware is one simulated thread per NI; every protocol action charges
+// the NI's embedded CPU, so the interface itself is a contended resource —
+// which is precisely what virtualization must manage.
+package nic
+
+import (
+	"fmt"
+	"strings"
+
+	"virtnet/internal/netsim"
+	"virtnet/internal/sim"
+	"virtnet/internal/trace"
+)
+
+// DriverPort is the upcall interface from the NI to the host OS driver
+// (requests flowing over the system endpoint in the paper's terms).
+type DriverPort interface {
+	// RequestResident asks the driver to bind the endpoint to a frame; the
+	// NI issues it when a message arrives for a non-resident endpoint
+	// (the proxy-fault path of §4.2). stamp is the NI's Lamport clock so
+	// the driver can order the request against concurrent frees.
+	RequestResident(ep *EndpointImage, stamp uint64)
+	// Notify signals a communication event for an endpoint whose event
+	// mask is armed, waking any thread blocked on it (§3.3).
+	Notify(ep *EndpointImage)
+}
+
+// CmdOp enumerates driver->NI commands.
+type CmdOp int
+
+const (
+	// OpLoad binds an endpoint image to a specific free frame.
+	OpLoad CmdOp = iota
+	// OpUnload evicts an endpoint image to host memory, quiescing in-flight
+	// messages first.
+	OpUnload
+)
+
+func (o CmdOp) String() string {
+	if o == OpLoad {
+		return "load"
+	}
+	return "unload"
+}
+
+// DriverCmd is an asynchronous driver request processed by the NI dispatch
+// loop, interleaved with user traffic (§5.3). Done runs in NI context when
+// the operation completes.
+type DriverCmd struct {
+	Op    CmdOp
+	EP    *EndpointImage
+	Frame int
+	Stamp uint64 // Lamport stamp assigned by the driver
+	Done  func()
+}
+
+// channel is one stop-and-wait logical channel to a particular remote NI.
+// Each channel is statically bound to a network route (its index), giving
+// FIFO delivery per channel and path diversity across channels.
+type channel struct {
+	dst      netsim.NodeID
+	idx      int
+	seq      uint64
+	inflight *wirePkt
+	retries  int
+	backoff  sim.Duration
+	timer    *sim.Timer
+}
+
+type chanKey struct {
+	src netsim.NodeID
+	idx int
+}
+
+// rxState is per-(source NI, channel) receive state: the last sequence seen
+// and the result that was sent for it, so duplicated retransmissions elicit
+// the identical response. Epoch changes (peer reboot) reset it, which is how
+// channels self-synchronize (§5.1).
+type rxState struct {
+	epoch      uint32
+	lastSeen   uint64
+	lastResult pktKind
+	lastReason NackReason
+	// rejectedSeq is the in-progress attempt (> lastSeen) that was refused
+	// at arrival (staging pool full). All copies of that attempt must get
+	// the same answer, or a NACKed-then-delivered race would make the
+	// sender re-send an already-delivered message (a user-level duplicate).
+	rejectedSeq uint64
+}
+
+// NIC is one simulated network interface.
+type NIC struct {
+	e      *sim.Engine
+	net    *netsim.Network
+	id     netsim.NodeID
+	cfg    Config
+	driver DriverPort
+	epoch  uint32
+
+	proc *sim.Proc
+	idle *sim.Cond
+	// inboundCtl holds arriving ACK/NACK packets; they are tiny, carry no
+	// payload, and are processed ahead of data so a deep data backlog
+	// cannot delay channel turnaround past the retransmission timers.
+	inboundCtl []*wirePkt
+	// inbound holds arriving data packets, bounded by Config.InboundPool.
+	inbound []*wirePkt
+	work    []func(p *sim.Proc)
+	cmds    []*DriverCmd
+
+	frames []*EndpointImage
+	eps    map[int]*EndpointImage
+	chans  map[netsim.NodeID][]*channel
+	rx     map[chanKey]*rxState
+
+	wrr         int
+	loiterCount int
+	loiterStart sim.Time
+
+	requested map[int]bool // endpoints with an outstanding RequestResident
+
+	// rtt holds per-peer RTT estimators (AdaptiveTimeout extension).
+	rtt map[netsim.NodeID]*rttEst
+	// pendingAcks holds acks awaiting a carrier (PiggybackAcks extension).
+	pendingAcks map[netsim.NodeID][]piggyAck
+
+	// clock is the NI's Lamport logical clock for driver/NI protocol
+	// messages (§4.3: a variant of logical clocks resolves the ordering of
+	// events each agent initiates in the other).
+	clock uint64
+
+	stopped bool
+
+	// C exposes protocol counters: data/ack/nack packets, retransmissions,
+	// returns to sender, loads/unloads.
+	C *trace.Counters
+}
+
+// New creates an NI for host id attached to net.
+func New(e *sim.Engine, net *netsim.Network, id netsim.NodeID, cfg Config) *NIC {
+	n := &NIC{
+		e:         e,
+		net:       net,
+		id:        id,
+		cfg:       cfg,
+		epoch:     uint32(e.Rand().Int63()) | 1,
+		frames:    make([]*EndpointImage, cfg.Frames),
+		eps:       make(map[int]*EndpointImage),
+		chans:     make(map[netsim.NodeID][]*channel),
+		rx:        make(map[chanKey]*rxState),
+		requested: make(map[int]bool),
+		C:         trace.NewCounters(),
+	}
+	n.idle = sim.NewCond(e)
+	net.Attach(id, n.fromNetwork)
+	if cfg.InboundPool > 0 {
+		net.SetAdmission(id, func() bool { return len(n.inbound) < cfg.InboundPool })
+	}
+	n.proc = e.Spawn(fmt.Sprintf("nic%d", id), n.loop)
+	return n
+}
+
+// ID returns the host this NI serves.
+func (n *NIC) ID() netsim.NodeID { return n.id }
+
+// Config returns the NI's cost model.
+func (n *NIC) Config() Config { return n.cfg }
+
+// SetDriver installs the host OS driver upcall port.
+func (n *NIC) SetDriver(d DriverPort) { n.driver = d }
+
+// Stop halts the dispatch loop (used by tests).
+func (n *NIC) Stop() {
+	n.stopped = true
+	n.wake()
+}
+
+// Register makes an endpoint image known to the NI (demultiplexing table).
+// Newly registered endpoints are non-resident.
+func (n *NIC) Register(ep *EndpointImage) {
+	n.eps[ep.ID] = ep
+}
+
+// Deregister removes an endpoint from the demux table. The endpoint must
+// not be resident (the driver unloads first).
+func (n *NIC) Deregister(id int) {
+	if ep, ok := n.eps[id]; ok && ep.Resident() {
+		panic("nic: deregister of resident endpoint")
+	}
+	delete(n.eps, id)
+}
+
+// Endpoint looks up a registered endpoint image.
+func (n *NIC) Endpoint(id int) (*EndpointImage, bool) {
+	ep, ok := n.eps[id]
+	return ep, ok
+}
+
+// FreeFrames reports the number of unoccupied endpoint frames.
+func (n *NIC) FreeFrames() int {
+	free := 0
+	for _, f := range n.frames {
+		if f == nil {
+			free++
+		}
+	}
+	return free
+}
+
+// FrameOccupant returns the endpoint in frame i, or nil.
+func (n *NIC) FrameOccupant(i int) *EndpointImage { return n.frames[i] }
+
+// PostSend tells the NI that new send descriptors were written into ep.
+// The host charges its own descriptor-write cost (Os); this only wakes the
+// dispatch loop.
+func (n *NIC) PostSend(ep *EndpointImage) { n.wake() }
+
+// SubmitCmd queues a driver command for the dispatch loop.
+func (n *NIC) SubmitCmd(cmd *DriverCmd) {
+	n.cmds = append(n.cmds, cmd)
+	n.wake()
+}
+
+// wake unblocks the dispatch loop if it is idle.
+func (n *NIC) wake() { n.idle.Signal() }
+
+// QueueLens reports the dispatch loop's queue depths (diagnostics).
+func (n *NIC) QueueLens() (inbound, ctl, work, cmds int) {
+	return len(n.inbound), len(n.inboundCtl), len(n.work), len(n.cmds)
+}
+
+// DumpEndpoints renders every registered endpoint's state (diagnostics).
+func (n *NIC) DumpEndpoints() string {
+	var b strings.Builder
+	for id, ep := range n.eps {
+		fmt.Fprintf(&b, "ep%d state=%d frame=%d sendq=%d repq_out=%d recvq=%d repq=%d inflight=%d\n",
+			id, ep.State, ep.Frame, ep.SendQ.Len(), ep.RepSendQ.Len(),
+			ep.RecvQ.Len(), ep.RepQ.Len(), ep.inflight)
+	}
+	// Channel occupancy.
+	for dst, chs := range n.chans {
+		busy := 0
+		for _, ch := range chs {
+			if ch.inflight != nil {
+				busy++
+			}
+		}
+		if busy > 0 {
+			fmt.Fprintf(&b, "chans->%d busy=%d/%d\n", dst, busy, len(chs))
+		}
+	}
+	return b.String()
+}
+
+// fromNetwork is the netsim delivery callback (the network receive DMA
+// engine depositing a packet into NI memory).
+func (n *NIC) fromNetwork(p *netsim.Packet) {
+	pkt := p.Payload.(*wirePkt)
+	if pkt.Kind != pktData {
+		n.inboundCtl = append(n.inboundCtl, pkt)
+		n.wake()
+		return
+	}
+	if n.cfg.InboundPool > 0 && len(n.inbound) >= n.cfg.InboundPool {
+		// Staging pool exhausted: refuse the packet at arrival and let the
+		// sender's flow control retransmit it later. The answer must be
+		// consistent with what other copies of the same attempt received:
+		// repeat the recorded response for processed attempts, and record
+		// the rejection for in-progress ones.
+		st := n.rxFor(pkt)
+		n.C.Inc("rx.pool_overrun")
+		switch {
+		case pkt.Seq == st.lastSeen:
+			res, reason := st.lastResult, st.lastReason
+			n.work = append(n.work, func(q *sim.Proc) { n.sendControl(q, pkt, res, reason) })
+		case pkt.Seq < st.lastSeen:
+			n.work = append(n.work, func(q *sim.Proc) { n.sendControl(q, pkt, pktAck, NackNone) })
+		default:
+			st.rejectedSeq = pkt.Seq
+			n.work = append(n.work, func(q *sim.Proc) { n.sendControl(q, pkt, pktNack, NackOverrun) })
+		}
+		n.wake()
+		return
+	}
+	n.inbound = append(n.inbound, pkt)
+	n.wake()
+}
+
+// loop is the firmware dispatch loop. Deferred work (timer-driven
+// retransmissions, completed quiesces) runs first; then each cycle
+// interleaves one inbound packet, one driver command, and one step of the
+// WRR endpoint service, so a saturating receive stream cannot starve
+// outgoing traffic (the paper's NI interleaves driver and user servicing
+// the same way, §5.3).
+func (n *NIC) loop(p *sim.Proc) {
+	for !n.stopped {
+		did := false
+		if len(n.work) > 0 {
+			w := n.work[0]
+			n.work = n.work[1:]
+			w(p)
+			continue
+		}
+		if len(n.inboundCtl) > 0 {
+			pkt := n.inboundCtl[0]
+			n.inboundCtl = n.inboundCtl[1:]
+			n.handlePkt(p, pkt)
+			continue
+		}
+		if len(n.inbound) > 0 {
+			pkt := n.inbound[0]
+			n.inbound = n.inbound[1:]
+			n.net.Admit(n.id) // back pressure: a staging slot freed
+			n.handlePkt(p, pkt)
+			did = true
+		}
+		if len(n.cmds) > 0 {
+			cmd := n.cmds[0]
+			n.cmds = n.cmds[1:]
+			n.handleCmd(p, cmd)
+			did = true
+		}
+		if n.serveEndpoints(p) {
+			did = true
+		}
+		if !did {
+			n.idle.Wait(p)
+		}
+	}
+}
+
+// ---- Send path ----
+
+// freeChannel returns an unoccupied logical channel to dst, creating the
+// channel set lazily on first use.
+func (n *NIC) freeChannel(dst netsim.NodeID) *channel {
+	chs, ok := n.chans[dst]
+	if !ok {
+		chs = make([]*channel, n.cfg.Channels)
+		for i := range chs {
+			chs[i] = &channel{dst: dst, idx: i}
+		}
+		n.chans[dst] = chs
+	}
+	for _, ch := range chs {
+		if ch.inflight == nil {
+			return ch
+		}
+	}
+	return nil
+}
+
+// sendable returns the queue whose head descriptor can be serviced now
+// (replies preferred), or nil. If a head is in backoff, a wakeup is
+// scheduled for when it becomes ready.
+func (n *NIC) sendable(ep *EndpointImage) *ring[*SendDesc] {
+	if ep.State != EPResident {
+		return nil
+	}
+	for _, q := range [2]*ring[*SendDesc]{ep.RepSendQ, ep.SendQ} {
+		d, ok := q.Peek()
+		if !ok {
+			continue
+		}
+		if d.NextTry > n.e.Now() {
+			n.e.ScheduleAt(d.NextTry, n.wake)
+			continue
+		}
+		if n.freeChannel(d.DstNI) != nil {
+			return q
+		}
+	}
+	return nil
+}
+
+// serveEndpoints performs one step of the weighted round-robin service
+// discipline: it loiters on the current endpoint until the loiter budget
+// (LoiterMsgs messages or LoiterTime) is exhausted or the endpoint has
+// nothing sendable, then advances. It reports whether any work was done.
+func (n *NIC) serveEndpoints(p *sim.Proc) bool {
+	nf := len(n.frames)
+	for scan := 0; scan < nf; scan++ {
+		ep := n.frames[n.wrr]
+		if ep != nil {
+			if q := n.sendable(ep); q != nil {
+				if n.loiterCount == 0 {
+					n.loiterStart = n.e.Now()
+				}
+				n.sendOne(p, ep, q)
+				n.loiterCount++
+				if n.loiterCount >= n.cfg.LoiterMsgs ||
+					n.e.Now().Sub(n.loiterStart) >= n.cfg.LoiterTime ||
+					n.sendable(ep) == nil {
+					n.advanceWRR()
+				}
+				return true
+			}
+		}
+		n.advanceWRR()
+	}
+	return false
+}
+
+func (n *NIC) advanceWRR() {
+	n.wrr = (n.wrr + 1) % len(n.frames)
+	n.loiterCount = 0
+}
+
+// sendOne transmits the head descriptor of queue q on a free channel.
+func (n *NIC) sendOne(p *sim.Proc, ep *EndpointImage, q *ring[*SendDesc]) {
+	d, _ := q.Pop()
+	ch := n.freeChannel(d.DstNI)
+	ep.LastActive = n.e.Now()
+
+	// Stage bulk payload from host memory into NI memory over the SBUS.
+	if len(d.Payload) > 0 {
+		p.Sleep(n.cfg.DMASetup + n.dmaTime(len(d.Payload), n.cfg.SBusReadBps))
+	}
+	p.Sleep(n.cfg.SendCritical + n.cfg.CheckOverhead)
+
+	ch.seq++
+	pkt := &wirePkt{
+		Kind:     pktData,
+		SrcNI:    n.id,
+		DstNI:    d.DstNI,
+		Chan:     ch.idx,
+		Seq:      ch.seq,
+		Epoch:    n.epoch,
+		Stamp:    n.e.Now(),
+		DstEP:    d.DstEP,
+		SrcEP:    d.SrcEP,
+		MsgID:    d.MsgID,
+		Key:      d.Key,
+		ReplyKey: d.ReplyKey,
+		Handler:  d.Handler,
+		IsReply:  d.IsReply,
+		Args:     d.Args,
+		Payload:  d.Payload,
+		desc:     d,
+	}
+	if d.FirstSend == 0 {
+		d.FirstSend = n.e.Now()
+	}
+	ch.inflight = pkt
+	ch.retries = 0
+	ch.backoff = n.cfg.RetransBase
+	ep.inflight++
+	if n.cfg.PiggybackAcks {
+		pkt.Piggy = n.takeAcks(d.DstNI, 4)
+	}
+	n.inject(pkt, ch.idx)
+	n.armTimer(ch)
+	n.C.Inc("tx.data")
+	n.C.Add("tx.bytes", int64(len(d.Payload)))
+	p.Sleep(n.cfg.SendPost)
+}
+
+func (n *NIC) inject(pkt *wirePkt, route int) {
+	size := n.cfg.AckBytes
+	if pkt.Kind == pktData {
+		size = n.cfg.HeaderBytes + len(pkt.Payload)
+	}
+	size += 8 * len(pkt.Piggy)
+	np := &netsim.Packet{
+		Src: n.id, Dst: pkt.DstNI, Size: size, Payload: pkt,
+		Control: pkt.Kind != pktData,
+	}
+	pkt.netPkt = np
+	n.net.Send(np, route)
+}
+
+func (n *NIC) dmaTime(bytes int, bps float64) sim.Duration {
+	return sim.Duration(float64(bytes) * 1e9 / bps)
+}
+
+// armTimer schedules a retransmission with randomized exponential backoff
+// (or the adaptive RTT-based timeout when the extension is enabled).
+func (n *NIC) armTimer(ch *channel) {
+	seq := ch.inflight.Seq
+	jitter := 1.0 + 0.5*n.e.Rand().Float64()
+	d := sim.Duration(float64(n.retransDelay(ch)) * jitter)
+	ch.timer = n.e.Schedule(d, func() {
+		n.work = append(n.work, func(p *sim.Proc) { n.retransmit(p, ch, seq) })
+		n.wake()
+	})
+}
+
+// retransmit handles a retransmission timeout on ch for the given attempt.
+func (n *NIC) retransmit(p *sim.Proc, ch *channel, seq uint64) {
+	pkt := ch.inflight
+	if pkt == nil || pkt.Seq != seq {
+		return // stale timer: the attempt already resolved
+	}
+	if pkt.netPkt != nil && pkt.netPkt.Parked {
+		// The copy is parked in the fabric by back pressure: the sender's
+		// injection path is blocked, so no duplicate can be created. Hold
+		// the timer instead (and do not count unreachability — the network
+		// is exerting flow control, not failing).
+		d := pkt.desc
+		d.FirstSend = 0
+		n.armTimer(ch)
+		n.C.Inc("tx.retrans_held")
+		return
+	}
+	d := pkt.desc
+	now := n.e.Now()
+	if now.Sub(d.FirstSend) > n.cfg.ReturnToSenderAfter {
+		// Prolonged absence of acknowledgments: unrecoverable transport
+		// condition; return the message to its sender (§3.2, §5.1).
+		n.resolveChannel(ch)
+		n.returnToSender(d, NackNone)
+		n.C.Inc("tx.timeout_return")
+		return
+	}
+	if ch.retries >= n.cfg.MaxRetries {
+		// Bounded consecutive retransmissions: unbind the message from the
+		// channel so the channel can be reused; a later service pass
+		// reacquires a channel and rebinds it (§5.1).
+		n.resolveChannel(ch)
+		d.NextTry = now.Add(ch.backoff)
+		if !n.requeue(d) {
+			n.returnToSender(d, NackOverrun)
+		}
+		n.C.Inc("tx.unbind")
+		return
+	}
+	ch.retries++
+	ch.backoff *= 2
+	if ch.backoff > n.cfg.RetransMax {
+		ch.backoff = n.cfg.RetransMax
+	}
+	p.Sleep(n.cfg.SendCritical)
+	n.inject(pkt, ch.idx)
+	n.armTimer(ch)
+	n.C.Inc("tx.retrans")
+}
+
+// resolveChannel frees ch and performs quiesce accounting for the source
+// endpoint of the in-flight message.
+func (n *NIC) resolveChannel(ch *channel) {
+	pkt := ch.inflight
+	ch.inflight = nil
+	if ch.timer != nil {
+		ch.timer.Stop()
+		ch.timer = nil
+	}
+	if pkt == nil {
+		return
+	}
+	if ep, ok := n.eps[pkt.desc.SrcEP]; ok {
+		ep.inflight--
+		if ep.State == EPQuiescing && ep.inflight == 0 && ep.unloadWait != nil {
+			cmd := ep.unloadWait
+			ep.unloadWait = nil
+			n.work = append(n.work, func(p *sim.Proc) { n.completeUnload(p, cmd) })
+			n.wake()
+		}
+	}
+}
+
+// requeue puts a NACKed or unbound descriptor back at the head of its
+// endpoint's send queue, preserving FIFO order. It reports success. If the
+// endpoint was evicted while this message was in flight, the driver is
+// asked to make it resident again (the queue is now non-empty, §4.2).
+func (n *NIC) requeue(d *SendDesc) bool {
+	ep, ok := n.eps[d.SrcEP]
+	if !ok {
+		return false
+	}
+	if d.NextTry > n.e.Now() {
+		n.e.ScheduleAt(d.NextTry, n.wake)
+	}
+	if !ep.sendQueueFor(d).PushFront(d) {
+		return false
+	}
+	if ep.State == EPHost && n.driver != nil && !n.requested[ep.ID] {
+		n.requested[ep.ID] = true
+		n.clock++
+		n.driver.RequestResident(ep, n.clock)
+	}
+	return true
+}
+
+// returnToSender deposits an undeliverable-message event into the source
+// endpoint so the application's handler can decide what to do (§3.2).
+func (n *NIC) returnToSender(d *SendDesc, reason NackReason) {
+	ep, ok := n.eps[d.SrcEP]
+	if !ok {
+		n.C.Inc("rts.dropped")
+		return
+	}
+	msg := &RecvMsg{
+		SrcNI:    d.DstNI,
+		SrcEP:    d.DstEP,
+		Handler:  d.Handler,
+		IsReply:  d.IsReply,
+		IsReturn: true,
+		Reason:   reason,
+		Args:     d.Args,
+		Payload:  d.Payload,
+		Arrive:   n.e.Now(),
+		Visible:  n.e.Now(),
+	}
+	if !ep.RepQ.Push(msg) {
+		n.C.Inc("rts.dropped")
+		return
+	}
+	n.C.Inc("rts.delivered")
+	if ep.OnDeliver != nil {
+		ep.OnDeliver(msg)
+	}
+	if ep.EventArmed && n.driver != nil {
+		n.driver.Notify(ep)
+	}
+}
+
+// ---- Receive path ----
+
+func (n *NIC) handlePkt(p *sim.Proc, pkt *wirePkt) {
+	switch pkt.Kind {
+	case pktData:
+		n.handleData(p, pkt)
+	case pktAck:
+		n.handleAck(p, pkt)
+	case pktNack:
+		n.handleNack(p, pkt)
+	}
+}
+
+func (n *NIC) rxFor(pkt *wirePkt) *rxState {
+	k := chanKey{src: pkt.SrcNI, idx: pkt.Chan}
+	st, ok := n.rx[k]
+	if !ok || st.epoch != pkt.Epoch {
+		st = &rxState{epoch: pkt.Epoch}
+		n.rx[k] = st
+	}
+	return st
+}
+
+func (n *NIC) handleData(p *sim.Proc, pkt *wirePkt) {
+	n.processPiggy(p, pkt) // acks riding on the data packet
+	p.Sleep(n.cfg.RecvCritical + n.cfg.CheckOverhead)
+	n.C.Inc("rx.data")
+	st := n.rxFor(pkt)
+	if pkt.Seq <= st.lastSeen {
+		// Duplicate of an attempt we already answered: repeat the answer.
+		n.C.Inc("rx.dup")
+		if pkt.Seq == st.lastSeen {
+			n.sendControl(p, pkt, st.lastResult, st.lastReason)
+		} else {
+			n.sendControl(p, pkt, pktAck, NackNone)
+		}
+		return
+	}
+	if pkt.Seq == st.rejectedSeq {
+		// A copy of this attempt was already refused at arrival; answer
+		// identically so the sender's single resolution stands.
+		n.C.Inc("rx.rejected_dup")
+		n.sendControl(p, pkt, pktNack, NackOverrun)
+		return
+	}
+	result, reason := n.deliver(p, pkt)
+	st.lastSeen = pkt.Seq
+	st.lastResult = result
+	st.lastReason = reason
+	if result == pktAck {
+		n.queueAck(p, pkt)
+	} else {
+		n.sendControl(p, pkt, result, reason)
+	}
+}
+
+// deliver attempts to deposit a data packet into its destination endpoint.
+func (n *NIC) deliver(p *sim.Proc, pkt *wirePkt) (pktKind, NackReason) {
+	ep, ok := n.eps[pkt.DstEP]
+	if !ok {
+		return pktNack, NackNoEndpoint
+	}
+	if ep.Key != pkt.Key {
+		return pktNack, NackBadKey
+	}
+	if ep.State != EPResident {
+		// Proxy fault: ask the driver to make the endpoint resident, then
+		// NACK so the sender retransmits later (§4.2, §6.4.1).
+		if !n.requested[ep.ID] && n.driver != nil {
+			n.requested[ep.ID] = true
+			n.clock++
+			n.driver.RequestResident(ep, n.clock)
+		}
+		return pktNack, NackNotResident
+	}
+	if pkt.MsgID != 0 && ep.SeenMsg(pkt.SrcEP, pkt.MsgID) {
+		// End-to-end duplicate: an earlier attempt (possibly on another
+		// channel, after an unbind/rebind) was already delivered.
+		// Acknowledge so the sender resolves, but do not redeposit.
+		n.C.Inc("rx.e2e_dup")
+		return pktAck, NackNone
+	}
+	q := ep.RecvQ
+	if pkt.IsReply {
+		q = ep.RepQ
+	}
+	if q.Full() {
+		return pktNack, NackOverrun
+	}
+	if len(pkt.Payload) > 0 {
+		// Stage payload from NI memory to the host buffer over the SBUS.
+		p.Sleep(n.cfg.DMASetup + n.dmaTime(len(pkt.Payload), n.cfg.SBusWriteBps))
+	}
+	msg := &RecvMsg{
+		SrcNI:    pkt.SrcNI,
+		SrcEP:    pkt.SrcEP,
+		Handler:  pkt.Handler,
+		IsReply:  pkt.IsReply,
+		Args:     pkt.Args,
+		Payload:  pkt.Payload,
+		ReplyKey: pkt.ReplyKey,
+		Arrive:   n.e.Now(),
+		Visible:  n.e.Now().Add(n.cfg.DepositLatency),
+	}
+	q.Push(msg)
+	if pkt.MsgID != 0 {
+		ep.MarkMsg(pkt.SrcEP, pkt.MsgID)
+	}
+	ep.LastActive = n.e.Now()
+	n.C.Inc("rx.delivered")
+	n.C.Add("rx.bytes", int64(len(pkt.Payload)))
+	if ep.OnDeliver != nil {
+		ep.OnDeliver(msg)
+	}
+	if ep.EventArmed && n.driver != nil {
+		n.driver.Notify(ep)
+	}
+	return pktAck, NackNone
+}
+
+// sendControl emits an ACK or NACK for a data packet, reflecting its
+// timestamp (§5.1).
+func (n *NIC) sendControl(p *sim.Proc, data *wirePkt, kind pktKind, reason NackReason) {
+	if kind == pktAck {
+		p.Sleep(n.cfg.AckSend)
+		n.C.Inc("tx.ack")
+	} else {
+		p.Sleep(n.cfg.NackSend)
+		n.C.Inc("tx.nack." + reason.String())
+	}
+	ctl := &wirePkt{
+		Kind:   kind,
+		SrcNI:  n.id,
+		DstNI:  data.SrcNI,
+		Chan:   data.Chan,
+		Seq:    data.Seq,
+		Epoch:  data.Epoch,
+		Stamp:  data.Stamp,
+		Reason: reason,
+	}
+	n.inject(ctl, data.Chan)
+}
+
+// chanFor finds our channel to peer with the given index.
+func (n *NIC) chanFor(peer netsim.NodeID, idx int) *channel {
+	chs, ok := n.chans[peer]
+	if !ok || idx >= len(chs) {
+		return nil
+	}
+	return chs[idx]
+}
+
+func (n *NIC) handleAck(p *sim.Proc, pkt *wirePkt) {
+	p.Sleep(n.cfg.AckRecv)
+	n.C.Inc("rx.ack")
+	if len(pkt.Piggy) > 0 {
+		// Batched acknowledgments (piggyback extension flush path).
+		n.processPiggy(p, pkt)
+		return
+	}
+	ch := n.chanFor(pkt.SrcNI, pkt.Chan)
+	if ch == nil || ch.inflight == nil || ch.inflight.Seq != pkt.Seq {
+		n.C.Inc("rx.ack.stale")
+		return
+	}
+	n.observeRTT(pkt, ch.retries)
+	n.resolveChannel(ch)
+	n.wake() // a channel freed; blocked endpoints may proceed
+}
+
+func (n *NIC) handleNack(p *sim.Proc, pkt *wirePkt) {
+	p.Sleep(n.cfg.NackRecv)
+	n.C.Inc("rx.nack." + pkt.Reason.String())
+	ch := n.chanFor(pkt.SrcNI, pkt.Chan)
+	if ch == nil || ch.inflight == nil || ch.inflight.Seq != pkt.Seq {
+		n.C.Inc("rx.nack.stale")
+		return
+	}
+	d := ch.inflight.desc
+	n.resolveChannel(ch)
+	if !pkt.Reason.transient() {
+		n.returnToSender(d, pkt.Reason)
+		return
+	}
+	// A NACK is a response: the peer is alive, so this is congestion or a
+	// non-resident endpoint, not the "prolonged absence of
+	// acknowledgments" that §5.1 treats as unrecoverable. Reset the
+	// unreachability clock and back off before retransmitting.
+	d.FirstSend = 0
+	d.nackBackoff(n)
+	if !n.requeue(d) {
+		n.returnToSender(d, pkt.Reason)
+	}
+}
+
+// nackBackoff advances the descriptor-level backoff used when a message is
+// NACKed (distinct from channel-level timeout backoff).
+func (d *SendDesc) nackBackoff(n *NIC) {
+	d.nacks++
+	b := n.cfg.NackBackoffBase << uint(d.nacks-1)
+	if b > n.cfg.RetransMax {
+		b = n.cfg.RetransMax
+	}
+	jitter := 1.0 + 0.5*n.e.Rand().Float64()
+	d.NextTry = n.e.Now().Add(sim.Duration(float64(b) * jitter))
+}
+
+// ---- Driver command processing ----
+
+func (n *NIC) handleCmd(p *sim.Proc, cmd *DriverCmd) {
+	if cmd.Stamp > n.clock {
+		n.clock = cmd.Stamp
+	}
+	n.clock++
+	p.Sleep(n.cfg.DriverOpCost)
+	switch cmd.Op {
+	case OpLoad:
+		n.handleLoad(p, cmd)
+	case OpUnload:
+		n.handleUnload(p, cmd)
+	}
+}
+
+func (n *NIC) handleLoad(p *sim.Proc, cmd *DriverCmd) {
+	ep := cmd.EP
+	if ep.State == EPResident {
+		delete(n.requested, ep.ID)
+		if cmd.Done != nil {
+			cmd.Done()
+		}
+		return
+	}
+	if cmd.Frame < 0 || cmd.Frame >= len(n.frames) || n.frames[cmd.Frame] != nil {
+		panic(fmt.Sprintf("nic%d: load %d into occupied/invalid frame %d", n.id, ep.ID, cmd.Frame))
+	}
+	// Stage the endpoint image from host memory into the frame.
+	p.Sleep(n.cfg.DMASetup + n.dmaTime(n.cfg.FrameBytes, n.cfg.SBusReadBps))
+	n.frames[cmd.Frame] = ep
+	ep.Frame = cmd.Frame
+	ep.State = EPResident
+	ep.LoadedAt = n.e.Now()
+	delete(n.requested, ep.ID)
+	n.C.Inc("drv.load")
+	if cmd.Done != nil {
+		cmd.Done()
+	}
+	n.wake()
+}
+
+func (n *NIC) handleUnload(p *sim.Proc, cmd *DriverCmd) {
+	ep := cmd.EP
+	if ep.State == EPHost {
+		if cmd.Done != nil {
+			cmd.Done()
+		}
+		return
+	}
+	if ep.inflight > 0 {
+		// Transient state: stop new sends, keep retransmitting in-flight
+		// packets until all copies are accounted for (§5.3).
+		ep.State = EPQuiescing
+		ep.unloadWait = cmd
+		n.C.Inc("drv.quiesce")
+		return
+	}
+	n.completeUnload(p, cmd)
+}
+
+func (n *NIC) completeUnload(p *sim.Proc, cmd *DriverCmd) {
+	ep := cmd.EP
+	p.Sleep(n.cfg.DMASetup + n.dmaTime(n.cfg.FrameBytes, n.cfg.SBusWriteBps))
+	if ep.Frame >= 0 {
+		n.frames[ep.Frame] = nil
+	}
+	ep.Frame = -1
+	ep.State = EPHost
+	// A make-resident request raised while this unload was in flight may
+	// have been discarded by the driver (the endpoint still looked
+	// resident, §4.3's ordering race); clear the dedup flag so the next
+	// arrival re-requests residency.
+	delete(n.requested, ep.ID)
+	n.C.Inc("drv.unload")
+	if cmd.Done != nil {
+		cmd.Done()
+	}
+	n.wake()
+}

@@ -1,0 +1,608 @@
+package nic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"virtnet/internal/netsim"
+	"virtnet/internal/sim"
+)
+
+// fakeDriver records NI upcalls and can auto-load requested endpoints.
+type fakeDriver struct {
+	n         *NIC
+	requests  []*EndpointImage
+	notifies  int
+	autoLoad  bool
+	nextFrame int
+}
+
+func (d *fakeDriver) RequestResident(ep *EndpointImage, stamp uint64) {
+	d.requests = append(d.requests, ep)
+	if d.autoLoad {
+		d.n.SubmitCmd(&DriverCmd{Op: OpLoad, EP: ep, Frame: d.nextFrame})
+		d.nextFrame++
+	}
+}
+
+func (d *fakeDriver) Notify(ep *EndpointImage) { d.notifies++ }
+
+type rig struct {
+	e    *sim.Engine
+	net  *netsim.Network
+	nics []*NIC
+	drvs []*fakeDriver
+}
+
+func newRig(t *testing.T, hosts int, seed int64, mod func(*Config), nmod func(*netsim.Config)) *rig {
+	t.Helper()
+	e := sim.NewEngine(seed)
+	ncfg := netsim.DefaultConfig()
+	if nmod != nil {
+		nmod(&ncfg)
+	}
+	net := netsim.New(e, ncfg, hosts)
+	r := &rig{e: e, net: net}
+	for h := 0; h < hosts; h++ {
+		cfg := DefaultConfig()
+		if mod != nil {
+			mod(&cfg)
+		}
+		n := New(e, net, netsim.NodeID(h), cfg)
+		d := &fakeDriver{n: n}
+		n.SetDriver(d)
+		r.nics = append(r.nics, n)
+		r.drvs = append(r.drvs, d)
+	}
+	return r
+}
+
+// newEP registers an endpoint and optionally makes it resident via a driver
+// load command (running the engine until the load completes).
+func (r *rig) newEP(t *testing.T, host, id int, key uint64, frame int) *EndpointImage {
+	t.Helper()
+	n := r.nics[host]
+	ep := NewEndpointImage(id, netsim.NodeID(host), n.cfg.SendQDepth, n.cfg.RecvQDepth)
+	ep.Key = key
+	n.Register(ep)
+	if frame >= 0 {
+		done := false
+		n.SubmitCmd(&DriverCmd{Op: OpLoad, EP: ep, Frame: frame, Done: func() { done = true }})
+		r.e.RunFor(5 * sim.Millisecond)
+		if !done {
+			t.Fatalf("endpoint %d load did not complete", id)
+		}
+	}
+	return ep
+}
+
+func (r *rig) send(host int, ep *EndpointImage, d *SendDesc) {
+	d.SrcEP = ep.ID
+	d.Enq = r.e.Now()
+	if !ep.SendQ.Push(d) {
+		panic("send queue full in test")
+	}
+	r.nics[host].PostSend(ep)
+}
+
+func (r *rig) shutdown() { r.e.Shutdown() }
+
+func TestShortMessageDelivery(t *testing.T) {
+	r := newRig(t, 2, 1, nil, nil)
+	defer r.shutdown()
+	src := r.newEP(t, 0, 100, 7, 0)
+	dst := r.newEP(t, 1, 200, 9, 0)
+
+	r.send(0, src, &SendDesc{DstNI: 1, DstEP: 200, Key: 9, Handler: 3, Args: [4]uint64{11, 22, 33, 44}})
+	r.e.RunFor(10 * sim.Millisecond)
+
+	if dst.RecvQ.Len() != 1 {
+		t.Fatalf("RecvQ len = %d, want 1", dst.RecvQ.Len())
+	}
+	m, _ := dst.RecvQ.Pop()
+	if m.Handler != 3 || m.Args[0] != 11 || m.Args[3] != 44 || m.SrcEP != 100 || m.SrcNI != 0 {
+		t.Fatalf("bad message: %+v", m)
+	}
+	if r.nics[0].C.Get("rx.ack") != 1 {
+		t.Fatalf("sender acks = %d, want 1", r.nics[0].C.Get("rx.ack"))
+	}
+	// Channel must be free again.
+	if ch := r.nics[0].freeChannel(1); ch == nil {
+		t.Fatal("no free channel after ack")
+	}
+}
+
+func TestReplyGoesToReplyQueue(t *testing.T) {
+	r := newRig(t, 2, 1, nil, nil)
+	defer r.shutdown()
+	src := r.newEP(t, 0, 100, 7, 0)
+	dst := r.newEP(t, 1, 200, 9, 0)
+	r.send(0, src, &SendDesc{DstNI: 1, DstEP: 200, Key: 9, Handler: 1, IsReply: true})
+	r.e.RunFor(10 * sim.Millisecond)
+	if dst.RepQ.Len() != 1 || dst.RecvQ.Len() != 0 {
+		t.Fatalf("rep=%d recv=%d, want 1/0", dst.RepQ.Len(), dst.RecvQ.Len())
+	}
+}
+
+func TestBadKeyReturnsToSender(t *testing.T) {
+	r := newRig(t, 2, 1, nil, nil)
+	defer r.shutdown()
+	src := r.newEP(t, 0, 100, 7, 0)
+	dst := r.newEP(t, 1, 200, 9, 0)
+	r.send(0, src, &SendDesc{DstNI: 1, DstEP: 200, Key: 999, Handler: 5, Args: [4]uint64{1}})
+	r.e.RunFor(20 * sim.Millisecond)
+	if dst.RecvQ.Len() != 0 {
+		t.Fatal("message with bad key was delivered")
+	}
+	if src.RepQ.Len() != 1 {
+		t.Fatalf("no return-to-sender event, RepQ=%d", src.RepQ.Len())
+	}
+	m, _ := src.RepQ.Pop()
+	if !m.IsReturn || m.Reason != NackBadKey || m.Handler != 5 {
+		t.Fatalf("bad return msg: %+v", m)
+	}
+}
+
+func TestNoEndpointReturnsToSender(t *testing.T) {
+	r := newRig(t, 2, 1, nil, nil)
+	defer r.shutdown()
+	src := r.newEP(t, 0, 100, 7, 0)
+	r.send(0, src, &SendDesc{DstNI: 1, DstEP: 555, Key: 9, Handler: 2})
+	r.e.RunFor(20 * sim.Millisecond)
+	if src.RepQ.Len() != 1 {
+		t.Fatal("no return-to-sender for missing endpoint")
+	}
+	m, _ := src.RepQ.Pop()
+	if m.Reason != NackNoEndpoint {
+		t.Fatalf("reason = %v, want no-endpoint", m.Reason)
+	}
+}
+
+func TestNonResidentTriggersProxyFaultAndRetry(t *testing.T) {
+	r := newRig(t, 2, 1, nil, nil)
+	defer r.shutdown()
+	src := r.newEP(t, 0, 100, 7, 0)
+	dst := r.newEP(t, 1, 200, 9, -1) // registered but not resident
+	r.drvs[1].autoLoad = true
+
+	r.send(0, src, &SendDesc{DstNI: 1, DstEP: 200, Key: 9, Handler: 1})
+	r.e.RunFor(50 * sim.Millisecond)
+
+	if len(r.drvs[1].requests) == 0 {
+		t.Fatal("NI never issued RequestResident")
+	}
+	if dst.RecvQ.Len() != 1 {
+		t.Fatalf("message not delivered after remap; RecvQ=%d nacks=%d",
+			dst.RecvQ.Len(), r.nics[0].C.Get("rx.nack.not-resident"))
+	}
+	if r.nics[0].C.Get("rx.nack.not-resident") == 0 {
+		t.Fatal("sender never saw a not-resident NACK")
+	}
+}
+
+func TestOverrunNackAndRecovery(t *testing.T) {
+	r := newRig(t, 2, 1, nil, nil)
+	defer r.shutdown()
+	src := r.newEP(t, 0, 100, 7, 0)
+	dst := r.newEP(t, 1, 200, 9, 0)
+
+	// Flood more messages than the 32-deep receive queue without draining.
+	for i := 0; i < 40; i++ {
+		r.send(0, src, &SendDesc{DstNI: 1, DstEP: 200, Key: 9, Handler: 1, Args: [4]uint64{uint64(i)}})
+	}
+	r.e.RunFor(20 * sim.Millisecond)
+	if dst.RecvQ.Len() != 32 {
+		t.Fatalf("RecvQ len = %d, want full at 32", dst.RecvQ.Len())
+	}
+	if r.nics[1].C.Get("tx.nack.overrun") == 0 {
+		t.Fatal("no overrun NACKs under flood")
+	}
+	// Drain and let retransmissions complete.
+	got := map[uint64]int{}
+	for {
+		m, ok := dst.RecvQ.Pop()
+		if !ok {
+			r.e.RunFor(50 * sim.Millisecond)
+			if dst.RecvQ.Empty() {
+				break
+			}
+			continue
+		}
+		got[m.Args[0]]++
+	}
+	for i := 0; i < 40; i++ {
+		if got[uint64(i)] != 1 {
+			t.Fatalf("message %d delivered %d times, want exactly once", i, got[uint64(i)])
+		}
+	}
+}
+
+func TestBulkTransfer(t *testing.T) {
+	r := newRig(t, 2, 1, nil, nil)
+	defer r.shutdown()
+	src := r.newEP(t, 0, 100, 7, 0)
+	dst := r.newEP(t, 1, 200, 9, 0)
+	payload := make([]byte, 8192)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	r.send(0, src, &SendDesc{DstNI: 1, DstEP: 200, Key: 9, Handler: 1, Payload: payload})
+	r.e.RunFor(20 * sim.Millisecond)
+	if dst.RecvQ.Len() != 1 {
+		t.Fatal("bulk message not delivered")
+	}
+	m, _ := dst.RecvQ.Pop()
+	if len(m.Payload) != 8192 || m.Payload[100] != byte(100) {
+		t.Fatal("bulk payload corrupted")
+	}
+	// Bulk must take at least the SBUS write DMA time (~175 us for 8 KB).
+	if r.e.Now() < sim.Time(150*sim.Microsecond) {
+		t.Fatalf("bulk transfer finished implausibly fast: %v", r.e.Now())
+	}
+}
+
+func TestExactlyOnceUnderDrops(t *testing.T) {
+	r := newRig(t, 2, 3, nil, func(c *netsim.Config) { c.DropProb = 0.25 })
+	defer r.shutdown()
+	src := r.newEP(t, 0, 100, 7, 0)
+	dst := r.newEP(t, 1, 200, 9, 0)
+
+	const N = 30
+	for i := 0; i < N; i++ {
+		r.send(0, src, &SendDesc{DstNI: 1, DstEP: 200, Key: 9, Handler: 1, Args: [4]uint64{uint64(i)}})
+	}
+	// Drain as messages arrive so overruns do not dominate.
+	got := map[uint64]int{}
+	for step := 0; step < 2000; step++ {
+		r.e.RunFor(1 * sim.Millisecond)
+		for {
+			m, ok := dst.RecvQ.Pop()
+			if !ok {
+				break
+			}
+			got[m.Args[0]]++
+		}
+		if len(got) == N {
+			break
+		}
+	}
+	for i := 0; i < N; i++ {
+		if got[uint64(i)] != 1 {
+			t.Fatalf("message %d delivered %d times (retrans=%d dup=%d)",
+				i, got[uint64(i)], r.nics[0].C.Get("tx.retrans"), r.nics[1].C.Get("rx.dup"))
+		}
+	}
+	if r.nics[0].C.Get("tx.retrans") == 0 {
+		t.Fatal("no retransmissions despite 25% drop rate")
+	}
+}
+
+func TestProlongedAbsenceReturnsToSender(t *testing.T) {
+	r := newRig(t, 2, 1, func(c *Config) {
+		c.ReturnToSenderAfter = 5 * sim.Millisecond
+		c.RetransBase = 100 * sim.Microsecond
+	}, func(c *netsim.Config) { c.DropProb = 1.0 })
+	defer r.shutdown()
+	src := r.newEP(t, 0, 100, 7, 0)
+	r.send(0, src, &SendDesc{DstNI: 1, DstEP: 200, Key: 9, Handler: 8})
+	r.e.RunFor(100 * sim.Millisecond)
+	if src.RepQ.Len() != 1 {
+		t.Fatalf("message never returned to sender; retrans=%d", r.nics[0].C.Get("tx.retrans"))
+	}
+	m, _ := src.RepQ.Pop()
+	if !m.IsReturn || m.Handler != 8 {
+		t.Fatalf("bad return: %+v", m)
+	}
+	if ch := r.nics[0].freeChannel(1); ch == nil {
+		t.Fatal("channel leaked after return-to-sender")
+	}
+}
+
+func TestChannelUnbindAfterBoundedRetries(t *testing.T) {
+	r := newRig(t, 2, 2, func(c *Config) {
+		c.MaxRetries = 2
+		c.RetransBase = 100 * sim.Microsecond
+		c.ReturnToSenderAfter = 10 * sim.Second // keep it from returning
+	}, func(c *netsim.Config) { c.DropProb = 1.0 })
+	defer r.shutdown()
+	src := r.newEP(t, 0, 100, 7, 0)
+	r.send(0, src, &SendDesc{DstNI: 1, DstEP: 200, Key: 9, Handler: 1})
+	r.e.RunFor(20 * sim.Millisecond)
+	if r.nics[0].C.Get("tx.unbind") == 0 {
+		t.Fatal("channel never unbound after bounded retries")
+	}
+	// After unbind the message is requeued and rebinds later.
+	if r.nics[0].C.Get("tx.data") < 2 {
+		t.Fatal("message not rebound after unbind")
+	}
+}
+
+func TestQuiesceUnloadWaitsForInflight(t *testing.T) {
+	r := newRig(t, 2, 1, func(c *Config) {
+		c.RetransBase = 50 * sim.Millisecond // slow retransmit
+	}, nil)
+	defer r.shutdown()
+	src := r.newEP(t, 0, 100, 7, 0)
+	dst := r.newEP(t, 1, 200, 9, 0)
+	_ = dst
+
+	// Stuff several messages, then immediately request unload: the unload
+	// must wait for in-flight packets to resolve, then complete.
+	for i := 0; i < 8; i++ {
+		r.send(0, src, &SendDesc{DstNI: 1, DstEP: 200, Key: 9, Handler: 1})
+	}
+	unloaded := sim.Time(-1)
+	r.e.RunFor(5 * sim.Microsecond) // let a send start
+	r.nics[0].SubmitCmd(&DriverCmd{Op: OpUnload, EP: src, Done: func() { unloaded = r.e.Now() }})
+	r.e.RunFor(200 * sim.Millisecond)
+	if unloaded < 0 {
+		t.Fatalf("unload never completed; inflight=%d state=%v", src.inflight, src.State)
+	}
+	if src.State != EPHost || src.Frame != -1 {
+		t.Fatalf("bad post-unload state: %v frame=%d", src.State, src.Frame)
+	}
+	if r.nics[0].FreeFrames() != r.nics[0].cfg.Frames {
+		t.Fatal("frame not freed by unload")
+	}
+	// Remaining queued messages must NOT have been sent while quiescing or
+	// after unload (endpoint non-resident).
+	if src.SendQ.Empty() {
+		t.Fatal("sends continued after unload")
+	}
+}
+
+func TestWRRFairnessAcrossEndpoints(t *testing.T) {
+	// The WRR discipline loiters up to LoiterMsgs on one endpoint, so
+	// fairness is at the granularity of the loiter quantum: with a quantum
+	// of 8, two busy endpoints must stay within one quantum of each other.
+	r := newRig(t, 3, 1, func(c *Config) { c.LoiterMsgs = 8 }, nil)
+	defer r.shutdown()
+	a := r.newEP(t, 0, 1, 1, 0)
+	b := r.newEP(t, 0, 2, 2, 1)
+	da := r.newEP(t, 1, 3, 3, 0)
+	db := r.newEP(t, 2, 4, 4, 0)
+
+	for i := 0; i < 30; i++ {
+		r.send(0, a, &SendDesc{DstNI: 1, DstEP: 3, Key: 3, Handler: 1})
+		r.send(0, b, &SendDesc{DstNI: 2, DstEP: 4, Key: 4, Handler: 1})
+	}
+	r.e.RunFor(400 * sim.Microsecond)
+	ga, gb := da.RecvQ.Len(), db.RecvQ.Len()
+	if ga == 0 || gb == 0 {
+		t.Fatalf("starvation: a=%d b=%d", ga, gb)
+	}
+	diff := ga - gb
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 8 {
+		t.Fatalf("unfair service beyond loiter quantum: a=%d b=%d", ga, gb)
+	}
+}
+
+func TestLoiterBoundPreventsMonopoly(t *testing.T) {
+	// One endpoint with a long stream must not starve another endpoint's
+	// first message beyond the loiter budget.
+	r := newRig(t, 3, 1, func(c *Config) { c.LoiterMsgs = 4 }, nil)
+	defer r.shutdown()
+	hog := r.newEP(t, 0, 1, 1, 0)
+	meek := r.newEP(t, 0, 2, 2, 1)
+	dh := r.newEP(t, 1, 3, 3, 0)
+	dm := r.newEP(t, 2, 4, 4, 0)
+	_ = dh
+
+	for i := 0; i < 60; i++ {
+		r.send(0, hog, &SendDesc{DstNI: 1, DstEP: 3, Key: 3, Handler: 1})
+	}
+	r.send(0, meek, &SendDesc{DstNI: 2, DstEP: 4, Key: 4, Handler: 1})
+	// The meek message must arrive long before the hog's 60 finish.
+	r.e.RunFor(150 * sim.Microsecond)
+	if dm.RecvQ.Len() != 1 {
+		t.Fatalf("meek endpoint starved; hog delivered %d", dh.RecvQ.Len())
+	}
+}
+
+func TestEpochResyncAfterSenderRestart(t *testing.T) {
+	r := newRig(t, 2, 1, nil, nil)
+	defer r.shutdown()
+	src := r.newEP(t, 0, 100, 7, 0)
+	dst := r.newEP(t, 1, 200, 9, 0)
+	r.send(0, src, &SendDesc{DstNI: 1, DstEP: 200, Key: 9, Handler: 1})
+	r.e.RunFor(10 * sim.Millisecond)
+	if dst.RecvQ.Len() != 1 {
+		t.Fatal("first message lost")
+	}
+	dst.RecvQ.Pop()
+
+	// "Reboot" host 0: stop old NI, attach a fresh one (new epoch, seq
+	// restarts at 1). The receiver must accept the new flow rather than
+	// treating it as a duplicate (§5.1 self-synchronizing channels).
+	r.nics[0].Stop()
+	n0 := New(r.e, r.net, 0, DefaultConfig())
+	d0 := &fakeDriver{n: n0}
+	n0.SetDriver(d0)
+	src2 := NewEndpointImage(100, 0, n0.cfg.SendQDepth, n0.cfg.RecvQDepth)
+	src2.Key = 7
+	n0.Register(src2)
+	done := false
+	n0.SubmitCmd(&DriverCmd{Op: OpLoad, EP: src2, Frame: 0, Done: func() { done = true }})
+	r.e.RunFor(5 * sim.Millisecond)
+	if !done {
+		t.Fatal("reload failed")
+	}
+	src2.SendQ.Push(&SendDesc{SrcEP: 100, DstNI: 1, DstEP: 200, Key: 9, Handler: 2})
+	n0.PostSend(src2)
+	r.e.RunFor(20 * sim.Millisecond)
+	if dst.RecvQ.Len() != 1 {
+		t.Fatalf("post-reboot message not delivered (dup=%d)", r.nics[1].C.Get("rx.dup"))
+	}
+}
+
+func TestNotifyOnArmedEndpoint(t *testing.T) {
+	r := newRig(t, 2, 1, nil, nil)
+	defer r.shutdown()
+	src := r.newEP(t, 0, 100, 7, 0)
+	dst := r.newEP(t, 1, 200, 9, 0)
+	dst.EventArmed = true
+	r.send(0, src, &SendDesc{DstNI: 1, DstEP: 200, Key: 9, Handler: 1})
+	r.e.RunFor(10 * sim.Millisecond)
+	if r.drvs[1].notifies != 1 {
+		t.Fatalf("notifies = %d, want 1", r.drvs[1].notifies)
+	}
+}
+
+func TestOnDeliverHookRuns(t *testing.T) {
+	r := newRig(t, 2, 1, nil, nil)
+	defer r.shutdown()
+	src := r.newEP(t, 0, 100, 7, 0)
+	dst := r.newEP(t, 1, 200, 9, 0)
+	var hooked *RecvMsg
+	dst.OnDeliver = func(m *RecvMsg) { hooked = m }
+	r.send(0, src, &SendDesc{DstNI: 1, DstEP: 200, Key: 9, Handler: 6})
+	r.e.RunFor(10 * sim.Millisecond)
+	if hooked == nil || hooked.Handler != 6 {
+		t.Fatalf("OnDeliver not invoked correctly: %+v", hooked)
+	}
+}
+
+// Property: under random drop rates and message counts, every message is
+// delivered exactly once (transport exactly-once invariant), provided the
+// receiver drains its queue.
+func TestExactlyOnceProperty(t *testing.T) {
+	f := func(seed int64, nMsgs8, drop8 uint8) bool {
+		n := int(nMsgs8%20) + 1
+		drop := float64(drop8%40) / 100.0
+		e := sim.NewEngine(seed)
+		ncfg := netsim.DefaultConfig()
+		ncfg.DropProb = drop
+		net := netsim.New(e, ncfg, 2)
+		cfg := DefaultConfig()
+		n0 := New(e, net, 0, cfg)
+		n1 := New(e, net, 1, cfg)
+		n0.SetDriver(&fakeDriver{n: n0})
+		n1.SetDriver(&fakeDriver{n: n1})
+		src := NewEndpointImage(1, 0, cfg.SendQDepth, cfg.RecvQDepth)
+		src.Key = 1
+		n0.Register(src)
+		dst := NewEndpointImage(2, 1, cfg.SendQDepth, cfg.RecvQDepth)
+		dst.Key = 2
+		n1.Register(dst)
+		n0.SubmitCmd(&DriverCmd{Op: OpLoad, EP: src, Frame: 0})
+		n1.SubmitCmd(&DriverCmd{Op: OpLoad, EP: dst, Frame: 0})
+		e.RunFor(sim.Millisecond)
+		for i := 0; i < n; i++ {
+			src.SendQ.Push(&SendDesc{SrcEP: 1, DstNI: 1, DstEP: 2, Key: 2, Handler: 1, Args: [4]uint64{uint64(i)}})
+		}
+		n0.PostSend(src)
+		got := map[uint64]int{}
+		for step := 0; step < 4000 && len(got) < n; step++ {
+			e.RunFor(sim.Millisecond)
+			for {
+				m, ok := dst.RecvQ.Pop()
+				if !ok {
+					break
+				}
+				got[m.Args[0]]++
+			}
+		}
+		defer e.Shutdown()
+		if len(got) != n {
+			return false
+		}
+		for _, c := range got {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingBasics(t *testing.T) {
+	r := newRing[int](3)
+	if !r.Empty() || r.Full() {
+		t.Fatal("bad initial state")
+	}
+	for i := 1; i <= 3; i++ {
+		if !r.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.Push(4) {
+		t.Fatal("push into full ring succeeded")
+	}
+	if v, _ := r.Peek(); v != 1 {
+		t.Fatalf("peek = %d", v)
+	}
+	v, _ := r.Pop()
+	if v != 1 {
+		t.Fatalf("pop = %d", v)
+	}
+	if !r.PushFront(0) {
+		t.Fatal("pushfront failed")
+	}
+	want := []int{0, 2, 3}
+	for _, w := range want {
+		v, ok := r.Pop()
+		if !ok || v != w {
+			t.Fatalf("pop = %d,%v want %d", v, ok, w)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+// Property: a ring behaves like a bounded deque-front FIFO against a model.
+func TestRingProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := newRing[int](8)
+		var model []int
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				ok := r.Push(next)
+				mok := len(model) < 8
+				if ok != mok {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			case 1:
+				v, ok := r.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 2:
+				ok := r.PushFront(next)
+				mok := len(model) < 8
+				if ok != mok {
+					return false
+				}
+				if ok {
+					model = append([]int{next}, model...)
+				}
+				next++
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package nic
+
+import (
+	"virtnet/internal/netsim"
+	"virtnet/internal/sim"
+)
+
+// pktKind distinguishes wire packet types.
+type pktKind int
+
+const (
+	pktData pktKind = iota
+	pktAck
+	pktNack
+)
+
+// NackReason encodes why a message could not be delivered (§5.1: negative
+// acknowledgments encode why messages could not be delivered).
+type NackReason int
+
+const (
+	NackNone        NackReason = iota
+	NackNotResident            // destination endpoint not bound to a frame; retransmit later
+	NackOverrun                // destination receive queue full; retransmit later
+	NackNoEndpoint             // no such endpoint; return to sender
+	NackBadKey                 // protection key mismatch; return to sender
+)
+
+func (r NackReason) String() string {
+	switch r {
+	case NackNotResident:
+		return "not-resident"
+	case NackOverrun:
+		return "overrun"
+	case NackNoEndpoint:
+		return "no-endpoint"
+	case NackBadKey:
+		return "bad-key"
+	}
+	return "none"
+}
+
+// transient reports whether the failure should be retried (vs returned).
+func (r NackReason) transient() bool {
+	return r == NackNotResident || r == NackOverrun
+}
+
+// wirePkt is what travels through netsim between NIs.
+type wirePkt struct {
+	Kind   pktKind
+	SrcNI  netsim.NodeID
+	DstNI  netsim.NodeID
+	Chan   int
+	Seq    uint64
+	Epoch  uint32   // NI incarnation; lets channels self-synchronize after reboot
+	Stamp  sim.Time // 32-bit link-header timestamp, reflected in acks (§5.1)
+	Reason NackReason
+
+	// Data fields.
+	DstEP    int
+	SrcEP    int
+	MsgID    uint64
+	Key      uint64
+	ReplyKey uint64
+	Handler  int
+	IsReply  bool
+	Args     [4]uint64
+	Payload  []byte
+
+	// Piggy carries acknowledgments riding in this packet (the §8
+	// piggybacking extension); data packets and batched control packets
+	// both may carry them.
+	Piggy []piggyAck
+
+	// Sender-side reference to the originating descriptor; never
+	// "serialized" (acks identify messages by channel+seq).
+	desc *SendDesc
+	// netPkt is the sender-side handle to the last transmission's network
+	// packet, consulted to suppress retransmission while it is parked
+	// behind back pressure.
+	netPkt *netsim.Packet
+}

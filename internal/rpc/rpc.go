@@ -1,0 +1,378 @@
+// Package rpc provides remote procedure calls over virtual networks — the
+// "SunRPC" box of the paper's Fig. 1: conventional request/response
+// services carried by the fast communication layer.
+//
+// A server registers numbered procedures on a well-known endpoint. Calls
+// and results of any size are moved as fragmented bulk Active Messages;
+// undeliverable calls surface as ErrUnreachable through the §3.2
+// return-to-sender path rather than through pessimistic timeouts.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+
+	"virtnet/internal/core"
+	"virtnet/internal/hostos"
+	"virtnet/internal/nic"
+	"virtnet/internal/sim"
+)
+
+// Handler indices.
+const (
+	hCall   = 1 // call fragment, server side
+	hCallOK = 2 // per-fragment flow-control reply
+	hResult = 3 // result fragment, client side
+)
+
+// Errors.
+var (
+	ErrUnreachable = errors.New("rpc: server unreachable")
+	ErrNoProc      = errors.New("rpc: no such procedure")
+	ErrTimeout     = errors.New("rpc: call timed out")
+)
+
+// Proc is a registered procedure: input bytes to output bytes.
+type Proc func(p *sim.Proc, args []byte) ([]byte, error)
+
+// Server serves registered procedures on one endpoint.
+type Server struct {
+	node   *hostos.Node
+	bundle *core.Bundle
+	ep     *core.Endpoint
+	procs  map[int]Proc
+
+	calls map[callKey]*callBuf
+
+	// Served counts completed calls.
+	Served int64
+}
+
+type callKey struct {
+	client core.EndpointName
+	id     uint64
+}
+
+type callBuf struct {
+	proc     int
+	data     []byte
+	got      int
+	total    int
+	clientEP core.EndpointName
+	key      core.Key
+	idx      int // translation slot for this client
+}
+
+// NewServer creates an RPC server on node with the given endpoint key.
+func NewServer(node *hostos.Node, key core.Key) (*Server, error) {
+	b := core.Attach(node)
+	ep, err := b.NewEndpoint(key, 512)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{node: node, bundle: b, ep: ep, procs: make(map[int]Proc), calls: make(map[callKey]*callBuf)}
+	ep.SetHandler(hCall, s.onCall)
+	// Result fragments bounced by a transient transport condition are
+	// re-issued; permanently undeliverable ones (client gone) are dropped.
+	ep.SetReturnHandler(func(p *sim.Proc, reason nic.NackReason, dstIdx, h int, args [4]uint64, payload []byte) {
+		if dstIdx < 0 || reason == nic.NackNoEndpoint || reason == nic.NackBadKey {
+			return
+		}
+		if len(payload) == 0 {
+			ep.Request(p, dstIdx, h, args)
+			return
+		}
+		ep.RequestBulk(p, dstIdx, h, payload, args)
+	})
+	return s, nil
+}
+
+// Name returns the server's endpoint name.
+func (s *Server) Name() core.EndpointName { return s.ep.Name() }
+
+// Register installs procedure number proc.
+func (s *Server) Register(proc int, fn Proc) { s.procs[proc] = fn }
+
+// Poll services incoming calls; servers embed it in their main loop, or use
+// Serve for a dedicated thread.
+func (s *Server) Poll(p *sim.Proc) int { return s.ep.Poll(p) }
+
+// Serve runs an event-driven server thread until stop returns true.
+func (s *Server) Serve(p *sim.Proc, stop func() bool) {
+	s.ep.SetEventMask(true)
+	for !stop() {
+		if !s.bundle.WaitTimeout(p, 10*sim.Millisecond) {
+			continue
+		}
+		s.ep.Poll(p)
+	}
+}
+
+// nextSlot finds or creates a translation slot for a client endpoint.
+func (s *Server) nextSlot(name core.EndpointName, key core.Key) (int, error) {
+	for i := 0; i < 512; i++ {
+		if s.ep.TranslationName(i) == name {
+			return i, nil
+		}
+		if !s.ep.TranslationValid(i) {
+			return i, s.ep.Map(i, name, key)
+		}
+	}
+	return 0, fmt.Errorf("rpc: translation table full")
+}
+
+// onCall assembles call fragments and dispatches the procedure. Results go
+// back as fragmented requests to the client endpoint named in the call.
+func (s *Server) onCall(p *sim.Proc, tok *core.Token, args [4]uint64, payload []byte) {
+	callID := args[0]
+	offset := int(args[1] >> 20)
+	total := int(args[1] & (1<<20 - 1))
+	proc := int(args[2] >> 40)
+	clientKey := core.Key(args[2] & (1<<40 - 1))
+	client := core.NameFromRaw(int64(args[3]))
+
+	k := callKey{client: client, id: callID}
+	cb, ok := s.calls[k]
+	if !ok {
+		idx, err := s.nextSlot(client, clientKey)
+		if err != nil {
+			tok.Reply(p, hCallOK, [4]uint64{callID, 1})
+			return
+		}
+		cb = &callBuf{proc: proc, data: make([]byte, total), total: total, clientEP: client, key: clientKey, idx: idx}
+		s.calls[k] = cb
+	}
+	copy(cb.data[offset:], payload)
+	cb.got += len(payload)
+	tok.Reply(p, hCallOK, [4]uint64{callID})
+	if cb.got < cb.total {
+		return
+	}
+	delete(s.calls, k)
+
+	fn, ok := s.procs[cb.proc]
+	status := uint64(0)
+	var result []byte
+	if !ok {
+		status = 1
+	} else {
+		out, err := fn(p, cb.data)
+		if err != nil {
+			status = 2
+			result = []byte(err.Error())
+		} else {
+			result = out
+		}
+	}
+	s.Served++
+	s.sendResult(p, cb.idx, callID, status, result)
+}
+
+// sendResult streams the result back as fragments.
+func (s *Server) sendResult(p *sim.Proc, idx int, callID, status uint64, result []byte) {
+	mtu := s.node.NIC.Config().MTU
+	total := len(result)
+	if total == 0 {
+		s.ep.Request(p, idx, hResult, [4]uint64{callID, uint64(total), 0, status})
+		return
+	}
+	for off := 0; off < total; off += mtu {
+		end := off + mtu
+		if end > total {
+			end = total
+		}
+		s.ep.RequestBulk(p, idx, hResult, result[off:end],
+			[4]uint64{callID, uint64(total), uint64(off), status})
+	}
+}
+
+// Client issues calls to one server.
+type Client struct {
+	node   *hostos.Node
+	bundle *core.Bundle
+	ep     *core.Endpoint
+
+	nextID  uint64
+	results map[uint64]*resultBuf
+	dead    bool // a call was returned undeliverable
+}
+
+type resultBuf struct {
+	data   []byte
+	got    int
+	total  int
+	status uint64
+	done   bool
+}
+
+// NewClient builds a client on node bound to the server's endpoint.
+func NewClient(node *hostos.Node, server core.EndpointName, serverKey core.Key) (*Client, error) {
+	b := core.Attach(node)
+	ep, err := b.NewEndpoint(core.Key(uint64(node.ID)<<20|uint64(node.E.Rand().Int63n(1<<20))), 4)
+	if err != nil {
+		return nil, err
+	}
+	if err := ep.Map(0, server, serverKey); err != nil {
+		return nil, err
+	}
+	c := &Client{node: node, bundle: b, ep: ep, results: make(map[uint64]*resultBuf)}
+	ep.SetHandler(hResult, c.onResult)
+	ep.SetHandler(hCallOK, func(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte) {})
+	// Re-issue call fragments bounced by transient transport conditions;
+	// only a permanent failure (no such endpoint / bad key) marks the
+	// server unreachable.
+	ep.SetReturnHandler(func(p *sim.Proc, reason nic.NackReason, dstIdx, h int, args [4]uint64, payload []byte) {
+		if dstIdx < 0 || reason == nic.NackNoEndpoint || reason == nic.NackBadKey {
+			c.dead = true
+			return
+		}
+		if len(payload) == 0 {
+			ep.Request(p, dstIdx, h, args)
+			return
+		}
+		ep.RequestBulk(p, dstIdx, h, payload, args)
+	})
+	return c, nil
+}
+
+func (c *Client) onResult(p *sim.Proc, tok *core.Token, args [4]uint64, payload []byte) {
+	id := args[0]
+	total := int(args[1])
+	off := int(args[2])
+	status := args[3]
+	rb, ok := c.results[id]
+	if !ok {
+		return // stale result for an abandoned call
+	}
+	if rb.data == nil {
+		rb.data = make([]byte, total)
+		rb.total = total
+	}
+	copy(rb.data[off:], payload)
+	rb.got += len(payload)
+	rb.status = status
+	if rb.got >= rb.total {
+		rb.done = true
+	}
+	tok.Reply(p, hCallOK, [4]uint64{id})
+}
+
+// Call invokes procedure proc with args and returns its result, blocking
+// until it completes, the transport declares the server unreachable, or
+// timeout elapses (0 = no timeout).
+func (c *Client) Call(p *sim.Proc, proc int, args []byte, timeout sim.Duration) ([]byte, error) {
+	if len(args) >= 1<<20 {
+		return nil, fmt.Errorf("rpc: argument size %d exceeds 1 MB framing limit", len(args))
+	}
+	id := c.nextID
+	c.nextID++
+	rb := &resultBuf{}
+	c.results[id] = rb
+	defer delete(c.results, id)
+
+	mtu := c.node.NIC.Config().MTU
+	meta := uint64(proc)<<40 | uint64(c.ep.Key())&(1<<40-1)
+	self := uint64(c.ep.Name().Raw())
+	total := len(args)
+	if total == 0 {
+		if err := c.ep.Request(p, 0, hCall, [4]uint64{id, 0, meta, self}); err != nil {
+			return nil, err
+		}
+	}
+	for off := 0; off < total; off += mtu {
+		end := off + mtu
+		if end > total {
+			end = total
+		}
+		ol := uint64(off)<<20 | uint64(total)
+		if err := c.ep.RequestBulk(p, 0, hCall, args[off:end], [4]uint64{id, ol, meta, self}); err != nil {
+			return nil, err
+		}
+	}
+	deadline := sim.Time(0)
+	if timeout > 0 {
+		deadline = p.Now().Add(timeout)
+	}
+	for !rb.done {
+		if c.dead {
+			return nil, ErrUnreachable
+		}
+		if deadline != 0 && p.Now() >= deadline {
+			return nil, ErrTimeout
+		}
+		if c.ep.Poll(p) == 0 {
+			p.Sleep(5 * sim.Microsecond)
+		}
+	}
+	switch rb.status {
+	case 1:
+		return nil, ErrNoProc
+	case 2:
+		return nil, fmt.Errorf("rpc: remote error: %s", rb.data)
+	}
+	return rb.data, nil
+}
+
+// Pending is an in-flight asynchronous call.
+type Pending struct {
+	c  *Client
+	id uint64
+	rb *resultBuf
+}
+
+// Go starts an asynchronous call; harvest it with Wait. Concurrent pending
+// calls to the same server pipeline on the wire, which is how a single
+// client overlaps stripe transfers to many storage servers.
+func (c *Client) Go(p *sim.Proc, proc int, args []byte) (*Pending, error) {
+	if len(args) >= 1<<20 {
+		return nil, fmt.Errorf("rpc: argument size %d exceeds 1 MB framing limit", len(args))
+	}
+	id := c.nextID
+	c.nextID++
+	rb := &resultBuf{}
+	c.results[id] = rb
+	mtu := c.node.NIC.Config().MTU
+	meta := uint64(proc)<<40 | uint64(c.ep.Key())&(1<<40-1)
+	self := uint64(c.ep.Name().Raw())
+	total := len(args)
+	if total == 0 {
+		if err := c.ep.Request(p, 0, hCall, [4]uint64{id, 0, meta, self}); err != nil {
+			return nil, err
+		}
+	}
+	for off := 0; off < total; off += mtu {
+		end := off + mtu
+		if end > total {
+			end = total
+		}
+		ol := uint64(off)<<20 | uint64(total)
+		if err := c.ep.RequestBulk(p, 0, hCall, args[off:end], [4]uint64{id, ol, meta, self}); err != nil {
+			return nil, err
+		}
+	}
+	return &Pending{c: c, id: id, rb: rb}, nil
+}
+
+// Wait blocks until the pending call completes and returns its result.
+func (pc *Pending) Wait(p *sim.Proc) ([]byte, error) {
+	c := pc.c
+	defer delete(c.results, pc.id)
+	for !pc.rb.done {
+		if c.dead {
+			return nil, ErrUnreachable
+		}
+		if c.ep.Poll(p) == 0 {
+			p.Sleep(5 * sim.Microsecond)
+		}
+	}
+	switch pc.rb.status {
+	case 1:
+		return nil, ErrNoProc
+	case 2:
+		return nil, fmt.Errorf("rpc: remote error: %s", pc.rb.data)
+	}
+	return pc.rb.data, nil
+}
+
+// Close releases the client's endpoint.
+func (c *Client) Close(p *sim.Proc) { c.bundle.Close(p) }

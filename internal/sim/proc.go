@@ -1,0 +1,196 @@
+package sim
+
+// Proc is a cooperative simulated thread: a goroutine that runs only while
+// it holds the engine's run token. Procs model application processes, POSIX
+// threads, OS kernel threads, and NI firmware loops. A Proc may touch
+// simulated state freely while running; it relinquishes control by sleeping
+// or blocking on a Cond.
+type Proc struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+	parked chan struct{}
+	done   bool
+	killed bool
+	// waiting and waitGen track the Cond the proc is parked on so a
+	// timeout can cancel exactly the wait it was armed for.
+	waiting *Cond
+	waitGen uint64
+}
+
+type procKilled struct{}
+
+// Spawn creates a simulated thread that begins executing fn at the current
+// virtual time (after already-queued events at this time).
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{}), parked: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		if !p.killed {
+			runBody(p, fn)
+		}
+		p.done = true
+		p.parked <- struct{}{}
+	}()
+	e.Schedule(0, func() { e.runProc(p) })
+	return p
+}
+
+func runBody(p *Proc, fn func(p *Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procKilled); ok {
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn(p)
+}
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Name returns the proc's debug name.
+func (p *Proc) Name() string { return p.name }
+
+// Done reports whether the proc has finished.
+func (p *Proc) Done() bool { return p.done }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.Now() }
+
+// yield parks the proc and returns control to the engine. The proc resumes
+// when something calls Engine.runProc on it.
+func (p *Proc) yield() {
+	p.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Sleep suspends the proc for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	p.e.Schedule(d, func() { p.e.runProc(p) })
+	p.yield()
+}
+
+// Yield lets other events and procs scheduled at the current time run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Cond is a condition-variable analogue for simulated threads. Waiters are
+// woken in FIFO order. A zero Cond bound with NewCond is ready to use.
+type Cond struct {
+	e       *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable on engine e.
+func NewCond(e *Engine) *Cond { return &Cond{e: e} }
+
+// Wait parks p until another activity calls Signal or Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.waiting = c
+	p.waitGen++
+	p.yield()
+	p.waiting = nil
+}
+
+// WaitTimeout parks p until a signal or until d elapses. It reports whether
+// the proc was signalled (true) or timed out (false).
+func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
+	c.waiters = append(c.waiters, p)
+	p.waiting = c
+	p.waitGen++
+	gen := p.waitGen
+	timedOut := false
+	t := c.e.Schedule(d, func() {
+		if p.waiting == c && p.waitGen == gen {
+			c.remove(p)
+			p.waiting = nil
+			timedOut = true
+			c.e.runProc(p)
+		}
+	})
+	p.yield()
+	p.waiting = nil
+	t.Stop()
+	return !timedOut
+}
+
+func (c *Cond) remove(p *Proc) {
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Signal wakes the oldest waiter, if any. It reports whether one was woken.
+// The waiter resumes via a zero-delay event, after the caller yields.
+func (c *Cond) Signal() bool {
+	if len(c.waiters) == 0 {
+		return false
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	p.waiting = nil
+	c.e.Schedule(0, func() { c.e.runProc(p) })
+	return true
+}
+
+// Broadcast wakes all waiters and reports how many were woken.
+func (c *Cond) Broadcast() int {
+	n := len(c.waiters)
+	for _, p := range c.waiters {
+		p.waiting = nil
+		pp := p
+		c.e.Schedule(0, func() { c.e.runProc(pp) })
+	}
+	c.waiters = nil
+	return n
+}
+
+// Waiters reports the number of procs currently parked on the cond.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Semaphore is a counting semaphore for simulated threads.
+type Semaphore struct {
+	n    int
+	cond *Cond
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(e *Engine, n int) *Semaphore {
+	return &Semaphore{n: n, cond: NewCond(e)}
+}
+
+// Acquire takes a permit, blocking the proc until one is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.n == 0 {
+		s.cond.Wait(p)
+	}
+	s.n--
+}
+
+// TryAcquire takes a permit without blocking; it reports success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.n == 0 {
+		return false
+	}
+	s.n--
+	return true
+}
+
+// Release returns a permit and wakes one waiter.
+func (s *Semaphore) Release() {
+	s.n++
+	s.cond.Signal()
+}
+
+// Available reports the current number of permits.
+func (s *Semaphore) Available() int { return s.n }

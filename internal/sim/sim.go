@@ -1,0 +1,218 @@
+// Package sim provides the discrete-event simulation kernel that underlies
+// the virtual network reproduction: a virtual clock, a cancellable event
+// queue, a deterministic PRNG, and cooperative simulated threads (Proc).
+//
+// All simulated code — NI firmware loops, OS kernel threads, application
+// processes — runs under a single engine. Exactly one simulated activity
+// executes at a time (the engine hands a run token to at most one Proc), so
+// simulated state needs no locking and every run is bit-reproducible for a
+// given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds reports the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros reports the duration as floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", d.Micros())
+	}
+	return fmt.Sprintf("%dns", int64(d))
+}
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+type event struct {
+	t         Time
+	seq       uint64
+	fn        func()
+	idx       int
+	cancelled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event; Stop cancels it.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the event had not yet fired.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.idx < 0 {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Engine is a discrete-event simulation engine.
+type Engine struct {
+	now   Time
+	seq   uint64
+	pq    eventHeap
+	rng   *rand.Rand
+	cur   *Proc
+	procs []*Proc
+}
+
+// NewEngine returns an engine with virtual time 0 and a PRNG seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic PRNG. All simulated randomness
+// (backoff jitter, replacement victims, workload think times) must come from
+// here so runs are reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule arranges for fn to run at Now()+d. It returns a Timer that can
+// cancel the callback. Scheduling in the past panics.
+func (e *Engine) Schedule(d Duration, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: schedule with negative delay %v", d))
+	}
+	e.seq++
+	ev := &event{t: e.now.Add(d), seq: e.seq, fn: fn}
+	heap.Push(&e.pq, ev)
+	return &Timer{ev: ev}
+}
+
+// ScheduleAt arranges for fn to run at absolute time t (>= Now()).
+func (e *Engine) ScheduleAt(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at past time %d (now %d)", t, e.now))
+	}
+	return e.Schedule(t.Sub(e.now), fn)
+}
+
+// Pending reports the number of events (including cancelled ones) queued.
+func (e *Engine) Pending() int { return e.pq.Len() }
+
+func (e *Engine) step() bool {
+	for e.pq.Len() > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.t
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until none remain. Procs blocked with no pending
+// wakeup are left parked (use Shutdown to release their goroutines).
+func (e *Engine) Run() {
+	for e.step() {
+	}
+}
+
+// RunUntil processes events with time <= t, then advances the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for {
+		for e.pq.Len() > 0 && e.pq[0].cancelled {
+			heap.Pop(&e.pq)
+		}
+		if e.pq.Len() == 0 || e.pq[0].t > t {
+			break
+		}
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor processes events for d of virtual time from now.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// runProc transfers control to p until it yields or exits.
+func (e *Engine) runProc(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := e.cur
+	e.cur = p
+	p.resume <- struct{}{}
+	<-p.parked
+	e.cur = prev
+}
+
+// Cur returns the currently running Proc, or nil when in plain event context.
+func (e *Engine) Cur() *Proc { return e.cur }
+
+// Shutdown kills all live procs so their goroutines exit. The engine remains
+// usable for inspection but no further events should be scheduled.
+func (e *Engine) Shutdown() {
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-p.parked
+	}
+}

@@ -1,0 +1,482 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events ran out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.Schedule(10, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, d := range []Duration{5, 15, 25} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, e.Now()) })
+	}
+	e.RunUntil(15)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=15, want 2", len(fired))
+	}
+	if e.Now() != 15 {
+		t.Fatalf("clock = %d, want 15", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events total, want 3", len(fired))
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock = %d, want 100", e.Now())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative delay")
+		}
+	}()
+	NewEngine(1).Schedule(-1, func() {})
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine(1)
+	var wakes []Time
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10)
+			wakes = append(wakes, p.Now())
+		}
+	})
+	e.Run()
+	want := []Time{10, 20, 30}
+	for i, w := range want {
+		if wakes[i] != w {
+			t.Fatalf("wakes = %v, want %v", wakes, want)
+		}
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine(42)
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(Duration(e.Rand().Intn(5) + 1))
+					log = append(log, name)
+				}
+			})
+		}
+		e.Run()
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatal("nondeterministic run length")
+		}
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("run %d diverged: %v vs %v", trial, again, first)
+			}
+		}
+	}
+}
+
+func TestCondSignalFIFO(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	var order []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			c.Wait(p)
+			order = append(order, name)
+		})
+	}
+	e.Spawn("signaller", func(p *Proc) {
+		p.Sleep(10)
+		for i := 0; i < 3; i++ {
+			c.Signal()
+			p.Sleep(1)
+		}
+	})
+	e.Run()
+	if len(order) != 3 || order[0] != "w1" || order[1] != "w2" || order[2] != "w3" {
+		t.Fatalf("wake order = %v, want FIFO", order)
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("w", func(p *Proc) {
+			c.Wait(p)
+			woken++
+		})
+	}
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(5)
+		if n := c.Broadcast(); n != 5 {
+			t.Errorf("Broadcast woke %d, want 5", n)
+		}
+	})
+	e.Run()
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+}
+
+func TestWaitTimeoutTimesOut(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	var signalled bool
+	var at Time
+	e.Spawn("w", func(p *Proc) {
+		signalled = c.WaitTimeout(p, 50)
+		at = p.Now()
+	})
+	e.Run()
+	if signalled {
+		t.Fatal("WaitTimeout reported signal, want timeout")
+	}
+	if at != 50 {
+		t.Fatalf("woke at %d, want 50", at)
+	}
+	if c.Waiters() != 0 {
+		t.Fatalf("stale waiter left on cond")
+	}
+}
+
+func TestWaitTimeoutSignalled(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	var signalled bool
+	e.Spawn("w", func(p *Proc) {
+		signalled = c.WaitTimeout(p, 50)
+	})
+	e.Spawn("s", func(p *Proc) {
+		p.Sleep(10)
+		c.Signal()
+	})
+	e.Run()
+	if !signalled {
+		t.Fatal("WaitTimeout reported timeout, want signal")
+	}
+}
+
+func TestWaitTimeoutStaleTimerDoesNotCancelNewWait(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	results := []bool{}
+	e.Spawn("w", func(p *Proc) {
+		// First wait: signalled just before its timeout fires.
+		results = append(results, c.WaitTimeout(p, 20))
+		// Immediately wait again on the same cond with a long timeout;
+		// the first wait's timer (if leaked) would fire at t=20.
+		results = append(results, c.WaitTimeout(p, 1000))
+	})
+	e.Spawn("s", func(p *Proc) {
+		p.Sleep(19)
+		c.Signal()
+		p.Sleep(81)
+		c.Signal()
+	})
+	e.Run()
+	if len(results) != 2 || !results[0] || !results[1] {
+		t.Fatalf("results = %v, want [true true]", results)
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSemaphore(e, 2)
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 6; i++ {
+		e.Spawn("u", func(p *Proc) {
+			s.Acquire(p)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(10)
+			inside--
+			s.Release()
+		})
+	}
+	e.Run()
+	if maxInside != 2 {
+		t.Fatalf("max concurrent holders = %d, want 2", maxInside)
+	}
+	if s.Available() != 2 {
+		t.Fatalf("available = %d, want 2", s.Available())
+	}
+}
+
+func TestShutdownReleasesBlockedProcs(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	cleanup := false
+	e.Spawn("stuck", func(p *Proc) {
+		defer func() { cleanup = true }()
+		c.Wait(p) // never signalled
+	})
+	e.Run()
+	e.Shutdown()
+	if !cleanup {
+		t.Fatal("deferred cleanup did not run on shutdown")
+	}
+}
+
+func TestSpawnNestedProc(t *testing.T) {
+	e := NewEngine(1)
+	var childRan bool
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(5)
+		e.Spawn("child", func(q *Proc) {
+			q.Sleep(5)
+			childRan = true
+		})
+		p.Sleep(20)
+	})
+	e.Run()
+	if !childRan {
+		t.Fatal("nested spawn did not run")
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock = %d, want 25", e.Now())
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in nondecreasing
+// time order and the clock ends at the max delay.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(7)
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			e.Schedule(Duration(d), func() { fired = append(fired, e.Now()) })
+			if Time(d) > max {
+				max = Time(d)
+			}
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: semaphore never admits more holders than permits, for random
+// permit counts and proc counts.
+func TestSemaphoreProperty(t *testing.T) {
+	f := func(permits8, procs8 uint8) bool {
+		permits := int(permits8%4) + 1
+		procs := int(procs8%16) + 1
+		e := NewEngine(3)
+		s := NewSemaphore(e, permits)
+		inside, ok := 0, true
+		for i := 0; i < procs; i++ {
+			e.Spawn("u", func(p *Proc) {
+				s.Acquire(p)
+				inside++
+				if inside > permits {
+					ok = false
+				}
+				p.Sleep(Duration(e.Rand().Intn(20) + 1))
+				inside--
+				s.Release()
+			})
+		}
+		e.Run()
+		return ok && s.Available() == permits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.500us"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.Schedule(10, func() {
+		e.ScheduleAt(25, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 25 {
+		t.Fatalf("fired at %d, want 25", at)
+	}
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic scheduling in the past")
+			}
+		}()
+		e.ScheduleAt(5, func() {})
+	})
+	e.Run()
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.Schedule(5, func() {})
+	e.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+}
+
+func TestRunForSkipsCancelled(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.Schedule(5, func() { fired = true })
+	tm.Stop()
+	e.RunFor(10)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %d", e.Now())
+	}
+}
+
+func TestCondMixedTimeoutAndSignalOrder(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	var events []string
+	e.Spawn("w1", func(p *Proc) {
+		if c.WaitTimeout(p, 100) {
+			events = append(events, "w1-signal")
+		} else {
+			events = append(events, "w1-timeout")
+		}
+	})
+	e.Spawn("w2", func(p *Proc) {
+		if c.WaitTimeout(p, 10) {
+			events = append(events, "w2-signal")
+		} else {
+			events = append(events, "w2-timeout")
+		}
+	})
+	e.Spawn("sig", func(p *Proc) {
+		p.Sleep(50)
+		c.Signal() // w2 already timed out; w1 must get this
+	})
+	e.Run()
+	if len(events) != 2 || events[0] != "w2-timeout" || events[1] != "w1-signal" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestEngineCurDuringProc(t *testing.T) {
+	e := NewEngine(1)
+	var inside, outside *Proc
+	p := e.Spawn("me", func(p *Proc) {
+		inside = e.Cur()
+	})
+	e.Schedule(1, func() { outside = e.Cur() })
+	e.Run()
+	if inside != p {
+		t.Fatal("Cur() inside proc != the proc")
+	}
+	if outside != nil {
+		t.Fatal("Cur() in event context != nil")
+	}
+}
+
+func TestProcNameAndDone(t *testing.T) {
+	e := NewEngine(1)
+	p := e.Spawn("worker", func(p *Proc) { p.Sleep(5) })
+	if p.Name() != "worker" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	if p.Done() {
+		t.Fatal("done before running")
+	}
+	e.Run()
+	if !p.Done() {
+		t.Fatal("not done after run")
+	}
+}

@@ -1,0 +1,296 @@
+// Package trace provides lightweight instrumentation for the simulated
+// cluster: named counters, duration histograms (used to show the bimodal
+// client latencies of §6.4.1), and windowed rate meters.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"virtnet/internal/sim"
+)
+
+// Counters is a set of named monotonic counters.
+type Counters struct {
+	m     map[string]int64
+	order []string
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]int64)}
+}
+
+// Add increments counter name by n.
+func (c *Counters) Add(name string, n int64) {
+	if _, ok := c.m[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.m[name] += n
+}
+
+// Inc increments counter name by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the value of counter name (zero if never touched).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Names returns counter names in first-touch order.
+func (c *Counters) Names() []string { return append([]string(nil), c.order...) }
+
+// String renders all counters, one per line, in first-touch order.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, n := range c.order {
+		fmt.Fprintf(&b, "%-32s %12d\n", n, c.m[n])
+	}
+	return b.String()
+}
+
+// Hist is a histogram over sim.Duration samples. It keeps raw samples (the
+// experiments record at most a few hundred thousand) so exact quantiles and
+// modality analysis are available.
+type Hist struct {
+	samples []sim.Duration
+	sorted  bool
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{} }
+
+// Observe records one sample.
+func (h *Hist) Observe(d sim.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Hist) Count() int { return len(h.samples) }
+
+func (h *Hist) sortSamples() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the samples.
+func (h *Hist) Quantile(q float64) sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	i := int(q * float64(len(h.samples)-1))
+	return h.samples[i]
+}
+
+// Mean returns the mean sample value.
+func (h *Hist) Mean() sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, s := range h.samples {
+		sum += int64(s)
+	}
+	return sim.Duration(sum / int64(len(h.samples)))
+}
+
+// Min and Max return sample extremes.
+func (h *Hist) Min() sim.Duration { h.sortSamples(); return h.q0() }
+func (h *Hist) Max() sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	return h.samples[len(h.samples)-1]
+}
+
+func (h *Hist) q0() sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[0]
+}
+
+// BimodalSplit splits samples around threshold and returns the fraction and
+// mean of each mode. The §6.4.1 analysis uses this to show that requests
+// hitting resident endpoints complete quickly while others pay remapping and
+// retransmission delays.
+func (h *Hist) BimodalSplit(threshold sim.Duration) (fastFrac float64, fastMean, slowMean sim.Duration) {
+	if len(h.samples) == 0 {
+		return 0, 0, 0
+	}
+	var nf, ns int
+	var sf, ss int64
+	for _, s := range h.samples {
+		if s <= threshold {
+			nf++
+			sf += int64(s)
+		} else {
+			ns++
+			ss += int64(s)
+		}
+	}
+	if nf > 0 {
+		fastMean = sim.Duration(sf / int64(nf))
+	}
+	if ns > 0 {
+		slowMean = sim.Duration(ss / int64(ns))
+	}
+	return float64(nf) / float64(len(h.samples)), fastMean, slowMean
+}
+
+// Buckets renders a log-scale ASCII histogram with n buckets.
+func (h *Hist) Buckets(n int) string {
+	if len(h.samples) == 0 || n <= 0 {
+		return "(no samples)\n"
+	}
+	h.sortSamples()
+	lo := float64(h.samples[0])
+	hi := float64(h.samples[len(h.samples)-1])
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi <= lo {
+		hi = lo * 2
+	}
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	counts := make([]int, n)
+	for _, s := range h.samples {
+		v := float64(s)
+		if v < lo {
+			v = lo
+		}
+		i := int(float64(n) * (math.Log(v) - logLo) / (logHi - logLo + 1e-12))
+		if i >= n {
+			i = n - 1
+		}
+		counts[i]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		lower := sim.Duration(math.Exp(logLo + (logHi-logLo)*float64(i)/float64(n)))
+		bar := strings.Repeat("#", c*50/maxInt(max, 1))
+		fmt.Fprintf(&b, "%12v %6d %s\n", lower, c, bar)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Timeline accumulates samples into fixed time intervals, for reporting how
+// a rate evolves over a run (e.g. §6.4.1's sustained re-mapping rate).
+type Timeline struct {
+	start    sim.Time
+	interval sim.Duration
+	buckets  []float64
+}
+
+// NewTimeline starts a timeline at start with the given bucket width.
+func NewTimeline(start sim.Time, interval sim.Duration) *Timeline {
+	return &Timeline{start: start, interval: interval}
+}
+
+// Add accumulates v into the bucket containing time t.
+func (tl *Timeline) Add(t sim.Time, v float64) {
+	if t < tl.start {
+		return
+	}
+	i := int(t.Sub(tl.start) / tl.interval)
+	for len(tl.buckets) <= i {
+		tl.buckets = append(tl.buckets, 0)
+	}
+	tl.buckets[i] += v
+}
+
+// Series returns the per-bucket totals.
+func (tl *Timeline) Series() []float64 { return append([]float64(nil), tl.buckets...) }
+
+// Rates returns per-bucket totals divided by the bucket width in seconds.
+func (tl *Timeline) Rates() []float64 {
+	out := make([]float64, len(tl.buckets))
+	w := tl.interval.Seconds()
+	for i, v := range tl.buckets {
+		out[i] = v / w
+	}
+	return out
+}
+
+// String renders the per-bucket rates on one line.
+func (tl *Timeline) String() string {
+	var b strings.Builder
+	for i, r := range tl.Rates() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.0f", r)
+	}
+	return b.String()
+}
+
+// Meter measures an event rate over the whole observation window.
+type Meter struct {
+	n     int64
+	bytes int64
+	start sim.Time
+	end   sim.Time
+	open  bool
+}
+
+// NewMeter returns a meter with its window opening at t.
+func NewMeter(t sim.Time) *Meter { return &Meter{start: t, end: t, open: true} }
+
+// Tick records one event of size bytes at time t.
+func (m *Meter) Tick(t sim.Time, bytes int) {
+	m.n++
+	m.bytes += int64(bytes)
+	if t > m.end {
+		m.end = t
+	}
+}
+
+// Close fixes the window end at t.
+func (m *Meter) Close(t sim.Time) {
+	if t > m.end {
+		m.end = t
+	}
+	m.open = false
+}
+
+// Count returns the number of recorded events.
+func (m *Meter) Count() int64 { return m.n }
+
+// Rate returns events per simulated second.
+func (m *Meter) Rate() float64 {
+	w := m.end.Sub(m.start).Seconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(m.n) / w
+}
+
+// Throughput returns bytes per simulated second.
+func (m *Meter) Throughput() float64 {
+	w := m.end.Sub(m.start).Seconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(m.bytes) / w
+}
+
+// MBps returns throughput in MB/s (1 MB = 1e6 bytes, as the paper reports).
+func (m *Meter) MBps() float64 { return m.Throughput() / 1e6 }

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"virtnet/internal/sim"
+)
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Inc("a")
+	c.Add("b", 5)
+	c.Inc("a")
+	if c.Get("a") != 2 || c.Get("b") != 5 {
+		t.Fatalf("a=%d b=%d", c.Get("a"), c.Get("b"))
+	}
+	if c.Get("missing") != 0 {
+		t.Fatal("missing counter not zero")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v, want first-touch order", names)
+	}
+	s := c.String()
+	if !strings.Contains(s, "a") || !strings.Contains(s, "5") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist()
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Duration(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %d", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %d", q)
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Fatalf("median = %d", med)
+	}
+	if h.Mean() != 50 {
+		t.Fatalf("mean = %d", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty hist should return zeros")
+	}
+	if !strings.Contains(h.Buckets(5), "no samples") {
+		t.Fatal("empty buckets output wrong")
+	}
+}
+
+func TestBimodalSplit(t *testing.T) {
+	h := NewHist()
+	// Fast mode around 30us, slow mode around 10ms.
+	for i := 0; i < 70; i++ {
+		h.Observe(30 * sim.Microsecond)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(10 * sim.Millisecond)
+	}
+	frac, fast, slow := h.BimodalSplit(sim.Millisecond)
+	if frac < 0.69 || frac > 0.71 {
+		t.Fatalf("fast fraction = %f, want 0.70", frac)
+	}
+	if fast != 30*sim.Microsecond {
+		t.Fatalf("fast mean = %v", fast)
+	}
+	if slow != 10*sim.Millisecond {
+		t.Fatalf("slow mean = %v", slow)
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	h := NewHist()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(sim.Duration(i * 1000))
+	}
+	out := h.Buckets(8)
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 8 {
+		t.Fatalf("bucket lines:\n%s", out)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter(0)
+	for i := 1; i <= 10; i++ {
+		m.Tick(sim.Time(i)*sim.Time(sim.Millisecond), 1000)
+	}
+	m.Close(sim.Time(10 * sim.Millisecond))
+	if m.Count() != 10 {
+		t.Fatalf("count = %d", m.Count())
+	}
+	if r := m.Rate(); r < 999 || r > 1001 {
+		t.Fatalf("rate = %f, want 1000/s", r)
+	}
+	if mb := m.MBps(); mb < 0.99 || mb > 1.01 {
+		t.Fatalf("MBps = %f, want 1.0", mb)
+	}
+}
+
+func TestMeterEmptyWindow(t *testing.T) {
+	m := NewMeter(5)
+	if m.Rate() != 0 || m.Throughput() != 0 {
+		t.Fatal("empty meter should report zero rates")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHist()
+		for _, v := range vals {
+			h.Observe(sim.Duration(v))
+		}
+		prev := sim.Duration(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			cur := h.Quantile(q)
+			if cur < prev || cur < h.Min() || cur > h.Max() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: counters sum correctly under arbitrary add sequences.
+func TestCounterSumProperty(t *testing.T) {
+	f := func(adds []int16) bool {
+		c := NewCounters()
+		var want int64
+		for _, a := range adds {
+			c.Add("x", int64(a))
+			want += int64(a)
+		}
+		return c.Get("x") == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tl := NewTimeline(100, 10)
+	tl.Add(100, 1)
+	tl.Add(105, 2)
+	tl.Add(115, 4)
+	tl.Add(139, 8)
+	tl.Add(50, 99) // before start: ignored
+	s := tl.Series()
+	want := []float64{3, 4, 0, 8}
+	if len(s) != len(want) {
+		t.Fatalf("series = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("series = %v, want %v", s, want)
+		}
+	}
+	r := tl.Rates()
+	if r[0] != 3/sim.Duration(10).Seconds() {
+		t.Fatalf("rates = %v", r)
+	}
+	if tl.String() == "" {
+		t.Fatal("empty string render")
+	}
+}
