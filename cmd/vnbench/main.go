@@ -11,6 +11,7 @@
 //	vnbench timeshare         §6.3    time-shared parallel applications
 //	vnbench overcommit        §6.4.1  8:1 overcommit: remap rate, bimodal RTTs
 //	vnbench ablations         §6.4.1  design-choice ablations
+//	vnbench migrate           ext.    live endpoint migration: blackout, loss=0
 //	vnbench all               everything above
 //
 // Use -quick for smaller client sweeps and shorter windows.
@@ -27,7 +28,9 @@ import (
 	"virtnet/internal/gam"
 	"virtnet/internal/hostos"
 	"virtnet/internal/logp"
+	"virtnet/internal/migrate"
 	"virtnet/internal/netsim"
+	"virtnet/internal/nic"
 	"virtnet/internal/npb"
 	"virtnet/internal/sim"
 )
@@ -54,11 +57,12 @@ func main() {
 		"timeshare":        runTimeshare,
 		"overcommit":       runOvercommit,
 		"ablations":        runAblations,
+		"migrate":          runMigrate,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"logp", "bandwidth", "npb", "contention-small",
 			"contention-bulk", "linpack", "timeshare", "overcommit", "ablations",
-			"sensitivity"} {
+			"sensitivity", "migrate"} {
 			cmds[name]()
 		}
 		return
@@ -384,6 +388,190 @@ func runAblations() {
 		on.BulkMBps, on.PingCount, on.PingP50, on.PingP99)
 	fmt.Printf("  unbounded:              hog %5.1f MB/s, %d pings, p50 %v p99 %v\n",
 		off.BulkMBps, off.PingCount, off.PingP50, off.PingP99)
+}
+
+// runMigrate demonstrates live endpoint migration (extension; DESIGN.md S20):
+// an echo server endpoint hops around the cluster while three clients keep a
+// continuous 16-byte request stream on it. Reported per move: the blackout
+// (freeze at the source to install at the destination) and the transfer
+// size. Reported overall: exactly-once accounting — every request must get
+// exactly one reply, with zero losses, zero duplicates, and zero user-level
+// return-to-sender events (redirects are transparent).
+func runMigrate() {
+	header("live endpoint migration — blackout under continuous 16 B request load")
+	const (
+		serverKey = core.Key(77)
+		hReq      = 1
+		hRep      = 2
+	)
+	nPer := 2000
+	hops := []int{1, 2, 3, 0}
+	if *quick {
+		nPer = 600
+		hops = []int{1, 0}
+	}
+	c := hostos.NewCluster(*seed, 4, hostos.DefaultClusterConfig())
+	defer c.Shutdown()
+	svc, err := migrate.NewService(c)
+	if err != nil {
+		fmt.Printf("migration service: %v\n", err)
+		return
+	}
+
+	sb := core.Attach(c.Nodes[0])
+	sb.SetResolver(svc.Dir)
+	server, err := sb.NewEndpoint(serverKey, 8)
+	if err != nil {
+		fmt.Printf("server endpoint: %v\n", err)
+		return
+	}
+	served := 0
+	server.SetHandler(hReq, func(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte) {
+		served++
+		if err := tok.Reply(p, hRep, args); err != nil {
+			fmt.Printf("server reply: %v\n", err)
+		}
+	})
+	cur := server
+	svc.Manage(server, func(n *core.Endpoint) { cur = n })
+	epID := server.Segment().EP.ID
+	c.Nodes[0].Spawn("server", func(p *sim.Proc) {
+		for {
+			cur.Poll(p)
+			p.Sleep(10 * sim.Microsecond)
+		}
+	})
+
+	// Three clients on nodes 1-3 stream 16-byte requests (two uint64 words)
+	// through the whole sequence of moves.
+	type clientStat struct {
+		ep      *core.Endpoint
+		replies map[uint64]int
+		returns int
+		done    bool
+		lastAt  sim.Time
+		maxGap  sim.Duration
+	}
+	clients := make([]*clientStat, 3)
+	for i := range clients {
+		node := i + 1
+		b := core.Attach(c.Nodes[node])
+		b.SetResolver(svc.Dir)
+		ep, err := b.NewEndpoint(core.Key(1000+node), 8)
+		if err != nil {
+			fmt.Printf("client endpoint: %v\n", err)
+			return
+		}
+		cs := &clientStat{ep: ep, replies: make(map[uint64]int)}
+		clients[i] = cs
+		ep.SetHandler(hRep, func(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte) {
+			if cs.lastAt != 0 {
+				if gap := p.Now().Sub(cs.lastAt); gap > cs.maxGap {
+					cs.maxGap = gap
+				}
+			}
+			cs.lastAt = p.Now()
+			cs.replies[args[0]]++
+		})
+		ep.SetReturnHandler(func(p *sim.Proc, _ nic.NackReason, _, _ int, _ [4]uint64, _ []byte) {
+			cs.returns++
+		})
+		if err := ep.Map(0, server.Name(), serverKey); err != nil {
+			fmt.Printf("client map: %v\n", err)
+			return
+		}
+		c.Nodes[node].Spawn("client", func(p *sim.Proc) {
+			for id := 1; id <= nPer; id++ {
+				if err := cs.ep.Request(p, 0, hReq, [4]uint64{uint64(id), uint64(node)}); err != nil {
+					fmt.Printf("client %d request: %v\n", node, err)
+					return
+				}
+				p.Sleep(40 * sim.Microsecond)
+			}
+			for len(cs.replies) < nPer {
+				cs.ep.Poll(p)
+				p.Sleep(10 * sim.Microsecond)
+			}
+			cs.done = true
+		})
+	}
+
+	// The mover walks the endpoint around the cluster mid-stream.
+	type moveRec struct {
+		from, to netsim.NodeID
+		stats    *migrate.MoveStats
+	}
+	var moves []moveRec
+	c.Nodes[0].Spawn("mover", func(p *sim.Proc) {
+		for _, dst := range hops {
+			p.Sleep(10 * sim.Millisecond)
+			h, _ := svc.Endpoint(epID)
+			from := h.Bundle().Node.ID
+			if from == netsim.NodeID(dst) {
+				continue
+			}
+			s, err := svc.Move(p, h, netsim.NodeID(dst))
+			if err != nil {
+				fmt.Printf("move %d->%d: %v\n", from, dst, err)
+				return
+			}
+			moves = append(moves, moveRec{from: from, to: netsim.NodeID(dst), stats: s})
+		}
+	})
+
+	deadline := sim.Time(0).Add(60 * sim.Second)
+	for c.E.Now() < deadline {
+		c.E.RunFor(50 * sim.Millisecond)
+		alldone := true
+		for _, cs := range clients {
+			alldone = alldone && cs.done
+		}
+		if alldone && len(moves) >= len(hops) {
+			break
+		}
+	}
+
+	fmt.Printf("%d moves under load (3 clients x %d requests):\n", len(moves), nPer)
+	fmt.Printf("%-6s %-8s %12s %10s %8s\n", "move", "route", "blackout", "bytes", "chunks")
+	for i, m := range moves {
+		fmt.Printf("%-6d %d -> %-4d %12v %10d %8d\n",
+			i+1, m.from, m.to, m.stats.Blackout, m.stats.Bytes, m.stats.Chunks)
+	}
+
+	sent := 3 * nPer
+	replied, lost, dup, returns := 0, 0, 0, 0
+	var redirects, refreshes int64
+	var maxGap sim.Duration
+	for _, cs := range clients {
+		if !cs.done {
+			fmt.Println("FAIL: a client did not complete (lost messages or deadlock)")
+		}
+		for id := 1; id <= nPer; id++ {
+			n := cs.replies[uint64(id)]
+			if n >= 1 {
+				replied++
+			}
+			if n == 0 {
+				lost++
+			}
+			if n > 1 {
+				dup += n - 1
+			}
+		}
+		returns += cs.returns
+		redirects += cs.ep.Stats.Redirects
+		refreshes += cs.ep.Stats.Refreshes
+		if cs.maxGap > maxGap {
+			maxGap = cs.maxGap
+		}
+	}
+	fmt.Printf("exactly-once: %d sent, %d replied, %d served — lost %d, duplicates %d (both must be 0)\n",
+		sent, replied, served, lost, dup)
+	fmt.Printf("redirects absorbed by the library: %d (%d translation refreshes); user-level returns: %d\n",
+		redirects, refreshes, returns)
+	fmt.Printf("directory: %d publishes, %d resolves; name version now %d\n",
+		svc.Dir.C.Get("dir.publish"), svc.Dir.C.Get("dir.resolve"), svc.Dir.Version(epID))
+	fmt.Printf("worst client-observed service gap: %v (covers blackout + redirect retries)\n", maxGap)
 }
 
 // runSensitivity reproduces the §6.1 claim (citing the LogP sensitivity

@@ -1,13 +1,17 @@
 // Command vnstress soak-tests the virtual network stack under adversarial
 // conditions: random request/reply traffic across a random endpoint mesh,
 // packet loss, endpoint churn (create/free while traffic flows), periodic
-// spine hot-swaps, and overcommitted NI frames. It verifies the system's
-// core invariants at the end:
+// spine hot-swaps, live endpoint migration churn, and overcommitted NI
+// frames. It verifies the system's core invariants at the end:
 //
 //   - exactly-once delivery for every request that was not returned,
 //   - credit conservation (windows return to full once quiescent),
 //   - no leaked endpoint frames,
 //   - the cluster remains live (no deadlock) throughout.
+//
+// With -migrate (on by default) a migrator live-moves the peer endpoints
+// round-robin between nodes while the traffic runs, so every invariant must
+// also hold across repeated relocations under loss and frame overcommit.
 //
 // Usage: vnstress [-seed N] [-nodes N] [-duration D-sim-seconds] [-drop P]
 package main
@@ -19,6 +23,8 @@ import (
 
 	"virtnet/internal/core"
 	"virtnet/internal/hostos"
+	"virtnet/internal/migrate"
+	"virtnet/internal/netsim"
 	"virtnet/internal/nic"
 	"virtnet/internal/sim"
 )
@@ -30,6 +36,7 @@ var (
 	drop     = flag.Float64("drop", 0.02, "packet loss probability")
 	churn    = flag.Bool("churn", true, "create/free endpoints during the run")
 	swap     = flag.Bool("swap", true, "hot-swap a spine switch during the run")
+	migr     = flag.Bool("migrate", true, "live-migrate peer endpoints during the run")
 )
 
 const (
@@ -39,7 +46,8 @@ const (
 
 type peer struct {
 	id     int
-	ep     *core.Endpoint
+	ep     *core.Endpoint // current live handle; swapped on migration
+	epID   int
 	node   *hostos.Node
 	sent   int64
 	gotRep int64
@@ -58,6 +66,14 @@ func main() {
 	cl := hostos.NewCluster(*seed, *nodes, cfg)
 	defer cl.Shutdown()
 
+	var svc *migrate.Service
+	if *migr {
+		var err error
+		if svc, err = migrate.NewService(cl); err != nil {
+			fatal("migration service: %v", err)
+		}
+	}
+
 	// Two endpoints per node, all meshed: 2*nodes endpoints against
 	// 8 frames per NI — overcommitted on every node.
 	var peers []*peer
@@ -65,11 +81,14 @@ func main() {
 	for n := 0; n < *nodes; n++ {
 		for k := 0; k < 2; k++ {
 			b := core.Attach(cl.Nodes[n])
+			if svc != nil {
+				b.SetResolver(svc.Dir)
+			}
 			ep, err := b.NewEndpoint(core.Key(5000+len(peers)), 2**nodes+4)
 			if err != nil {
 				fatal("endpoint: %v", err)
 			}
-			peers = append(peers, &peer{id: len(peers), ep: ep, node: cl.Nodes[n]})
+			peers = append(peers, &peer{id: len(peers), ep: ep, epID: ep.Segment().EP.ID, node: cl.Nodes[n]})
 			eps = append(eps, ep)
 		}
 	}
@@ -95,6 +114,11 @@ func main() {
 				pr.retRep++
 			}
 		})
+		if svc != nil {
+			// Handlers, counters, and translations travel with the image; the
+			// swap retargets this peer's send/poll loop at the new handle.
+			svc.Manage(pr.ep, func(n *core.Endpoint) { pr.ep = n })
+		}
 		pr.node.Spawn(fmt.Sprintf("peer%d", pr.id), func(p *sim.Proc) {
 			rng := pr.node.E.Rand()
 			for p.Now() < stopAt {
@@ -107,6 +131,12 @@ func main() {
 					err = pr.ep.RequestBulk(p, dst, hReq, make([]byte, 512+rng.Intn(7000)), [4]uint64{})
 				} else {
 					err = pr.ep.Request(p, dst, hReq, [4]uint64{})
+				}
+				if err == core.ErrMoved {
+					// Our own endpoint is mid-migration; the Manage swap will
+					// retarget pr.ep once it lands.
+					p.Sleep(100 * sim.Microsecond)
+					continue
 				}
 				if err != nil {
 					fatal("peer %d request: %v", pr.id, err)
@@ -148,6 +178,31 @@ func main() {
 		}
 	}
 
+	// Migration churn: live-move peer endpoints round-robin onto random
+	// other nodes while the traffic runs. Every peer keeps sending and
+	// serving across its own relocations.
+	moves := 0
+	if svc != nil {
+		cl.E.Spawn("migrator", func(p *sim.Proc) {
+			rng := cl.E.Rand()
+			for i := 0; p.Now() < stopAt; i++ {
+				p.Sleep(40 * sim.Millisecond)
+				cur := peers[i%len(peers)].ep
+				if cur.Moved() {
+					continue
+				}
+				dst := netsim.NodeID(rng.Intn(*nodes))
+				if dst == cur.Bundle().Node.ID {
+					dst = netsim.NodeID((int(dst) + 1) % *nodes)
+				}
+				if _, err := svc.Move(p, cur, dst); err != nil {
+					fatal("migrate peer %d: %v", i%len(peers), err)
+				}
+				moves++
+			}
+		})
+	}
+
 	// Periodic spine hot-swap.
 	if *swap {
 		cl.E.Spawn("swapper", func(p *sim.Proc) {
@@ -174,7 +229,18 @@ func main() {
 			rq += pr.retReq
 			rp += pr.retRep
 		}
-		return served+rq >= sent && rep+rp >= served
+		if served+rq < sent || rep+rp < served {
+			return false
+		}
+		// Credits settle only when every deposited reply and return has been
+		// dispatched; a delivered-but-returned message can satisfy the sums
+		// above while its twin still sits in a queue.
+		for _, pr := range peers {
+			if pr.ep.Segment().EP.PendingRecvs() > 0 {
+				return false
+			}
+		}
+		return true
 	}
 	for cl.E.Now() < limit {
 		cl.E.RunFor(10 * sim.Millisecond)
@@ -252,6 +318,15 @@ func main() {
 	remaps := int64(0)
 	for _, n := range cl.Nodes {
 		remaps += n.Driver.Remaps()
+	}
+	if svc != nil {
+		var redirects, refreshes int64
+		for _, pr := range peers {
+			redirects += pr.ep.Stats.Redirects
+			refreshes += pr.ep.Stats.Refreshes
+		}
+		fmt.Printf("migrations: %d live moves; %d redirects absorbed, %d translation refreshes\n",
+			moves, redirects, refreshes)
 	}
 	fmt.Printf("endpoint remaps across cluster: %d; final sim time %v\n",
 		remaps, sim.Duration(cl.E.Now()))

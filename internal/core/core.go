@@ -41,14 +41,31 @@ type EndpointName struct {
 
 func (n EndpointName) String() string { return fmt.Sprintf("ep(%d:%d)", n.node, n.ep) }
 
+// Field widths of the Raw encoding: the low 40 bits carry the endpoint id
+// and the next 23 bits the birth node, filling a non-negative int64.
+const (
+	rawEpBits   = 40
+	rawNodeBits = 23
+)
+
 // Raw serializes the name for transport through a rendezvous mechanism
 // (e.g. inside a message's argument words). The encoding is opaque to
-// applications; NameFromRaw reverses it.
-func (n EndpointName) Raw() int64 { return int64(n.node)<<40 | int64(n.ep) }
+// applications; NameFromRaw reverses it. Names whose components do not fit
+// the encoding's fields cannot be serialized without colliding with another
+// name, so Raw panics rather than alias silently.
+func (n EndpointName) Raw() int64 {
+	if n.ep < 0 || int64(n.ep) >= 1<<rawEpBits {
+		panic(fmt.Sprintf("core: endpoint id %d does not fit Raw's %d-bit field", n.ep, rawEpBits))
+	}
+	if n.node < 0 || int64(n.node) >= 1<<rawNodeBits {
+		panic(fmt.Sprintf("core: node id %d does not fit Raw's %d-bit field", n.node, rawNodeBits))
+	}
+	return int64(n.node)<<rawEpBits | int64(n.ep)
+}
 
 // NameFromRaw reconstructs a name serialized by Raw.
 func NameFromRaw(raw int64) EndpointName {
-	return EndpointName{node: netsim.NodeID(raw >> 40), ep: int(raw & (1<<40 - 1))}
+	return EndpointName{node: netsim.NodeID(raw >> rawEpBits), ep: int(raw & (1<<rawEpBits - 1))}
 }
 
 // Key is a protection key. A message is delivered only if its key matches
@@ -72,7 +89,19 @@ var (
 	ErrPayloadSize = errors.New("core: payload exceeds MTU (fragment at a higher layer)")
 	ErrClosed      = errors.New("core: bundle closed")
 	ErrNoHandler   = errors.New("core: handler index out of range")
+	// ErrMoved reports that the endpoint was frozen for live migration: its
+	// state now lives on another node and this handle is dead. The caller
+	// obtains the reincarnated endpoint from the migration manager.
+	ErrMoved = errors.New("core: endpoint migrated away")
 )
+
+// Resolver maps an endpoint id to the node currently hosting it. The
+// cluster-wide name service (internal/migrate) implements it; a bundle with
+// no resolver falls back to the location bound into each name, which is
+// correct exactly as long as endpoints never move.
+type Resolver interface {
+	Resolve(ep int) (node netsim.NodeID, ver uint64, ok bool)
+}
 
 // Mode marks an endpoint shared (operations take a lock) or exclusive.
 type Mode int
@@ -94,9 +123,10 @@ const sharedLockCost = 400 * sim.Nanosecond
 type Bundle struct {
 	Node *hostos.Node
 
-	eps    []*Endpoint
-	cond   *sim.Cond
-	closed bool
+	eps      []*Endpoint
+	cond     *sim.Cond
+	closed   bool
+	resolver Resolver
 }
 
 // Attach opens a bundle on node.
@@ -107,12 +137,24 @@ func Attach(node *hostos.Node) *Bundle {
 // Endpoints returns the bundle's endpoints.
 func (b *Bundle) Endpoints() []*Endpoint { return b.eps }
 
-// translation is one slot of an endpoint's translation table.
+// SetResolver installs the cluster name service used to locate endpoints
+// that may have migrated. Affects subsequent Map calls and message posting;
+// existing cached locations refresh lazily when a send bounces off a
+// forwarding entry.
+func (b *Bundle) SetResolver(r Resolver) { b.resolver = r }
+
+// translation is one slot of an endpoint's translation table. Beyond the
+// paper's (name, key) pair it caches the name's current location binding —
+// node is where messages are physically routed, ver the name-service version
+// the binding came from. Both refresh when a send bounces off a migrated
+// endpoint's forwarding entry (NackMoved).
 type translation struct {
 	valid   bool
 	name    EndpointName
 	key     Key
 	credits int
+	node    netsim.NodeID
+	ver     uint64
 }
 
 // Stats counts per-endpoint API activity.
@@ -121,6 +163,12 @@ type Stats struct {
 	Replies   int64
 	Delivered int64 // handlers invoked for incoming messages
 	Returns   int64 // undeliverable messages returned to this endpoint
+	// Redirects counts messages bounced off a migrated endpoint's forwarding
+	// entry and transparently re-issued toward its new location.
+	Redirects int64
+	// Refreshes counts translation-table location bindings updated from the
+	// name service after a bounce.
+	Refreshes int64
 }
 
 // Endpoint is a virtualized connection to the network (§3). It holds
@@ -130,16 +178,31 @@ type Endpoint struct {
 	b    *Bundle
 	seg  *hostos.Segment
 	mode Mode
+	// name is the endpoint's birth name, fixed at creation. The node baked
+	// into it is only the default location hint: after a migration the name
+	// stays the same while the location binding (translation.node, refreshed
+	// through the name service) diverges from it — names are opaque (§3.1).
+	name EndpointName
+	// moved marks a handle whose endpoint state was extracted for migration;
+	// every operation on it fails with ErrMoved.
+	moved bool
+	// dispatching counts handler invocations in progress (possibly nested);
+	// Freeze waits for it to reach zero so a request popped before the
+	// freeze still gets its reply out before the state is extracted.
+	dispatching int
 
 	handlers [NumHandlers]Handler
 	onReturn ReturnHandler
 	trans    []translation
-	// msgSeq assigns the end-to-end message id per destination endpoint
-	// (exactly-once dedup across channel rebinds).
-	msgSeq map[EndpointName]uint64
-	// reverse maps a remote endpoint to the local translation index, for
-	// credit restoration when its replies and returns arrive.
-	reverse map[EndpointName]int
+	// msgSeq assigns the end-to-end message id per destination endpoint id
+	// (exactly-once dedup across channel rebinds). Keyed by the globally
+	// unique endpoint id, not the name, so the sequence survives the
+	// destination moving between nodes.
+	msgSeq map[int]uint64
+	// reverse maps a remote endpoint id to the local translation index, for
+	// credit restoration when its replies and returns arrive — from whichever
+	// node the endpoint currently occupies.
+	reverse map[int]int
 
 	Stats Stats
 }
@@ -154,9 +217,10 @@ func (b *Bundle) NewEndpoint(key Key, tableSize int) (*Endpoint, error) {
 	ep := &Endpoint{
 		b:       b,
 		seg:     seg,
+		name:    EndpointName{node: b.Node.ID, ep: seg.EP.ID},
 		trans:   make([]translation, tableSize),
-		reverse: make(map[EndpointName]int),
-		msgSeq:  make(map[EndpointName]uint64),
+		reverse: make(map[int]int),
+		msgSeq:  make(map[int]uint64),
 	}
 	// Communication events funnel to the bundle condition so one thread
 	// can wait on many endpoints.
@@ -165,10 +229,14 @@ func (b *Bundle) NewEndpoint(key Key, tableSize int) (*Endpoint, error) {
 	return ep, nil
 }
 
-// Name returns the endpoint's opaque global name.
-func (ep *Endpoint) Name() EndpointName {
-	return EndpointName{node: ep.b.Node.ID, ep: ep.seg.EP.ID}
-}
+// Name returns the endpoint's opaque global name. The name is assigned at
+// creation and never changes — in particular it survives live migration, so
+// rendezvous state held by peers stays valid across moves.
+func (ep *Endpoint) Name() EndpointName { return ep.name }
+
+// Moved reports whether this handle's endpoint was migrated away (all
+// operations on it return ErrMoved).
+func (ep *Endpoint) Moved() bool { return ep.moved }
 
 // Segment exposes the OS segment backing this endpoint (for instrumentation).
 func (ep *Endpoint) Segment() *hostos.Segment { return ep.seg }
@@ -198,8 +266,21 @@ func (ep *Endpoint) Map(idx int, name EndpointName, key Key) error {
 	if idx < 0 || idx >= len(ep.trans) {
 		return ErrBadIndex
 	}
-	ep.trans[idx] = translation{valid: true, name: name, key: key, credits: ep.b.Node.NIC.Config().RecvQDepth}
-	ep.reverse[name] = idx
+	// The initial location binding comes from the name service when one is
+	// attached (the endpoint may already have migrated away from its birth
+	// node), else from the location hint baked into the name.
+	node, ver := name.node, uint64(0)
+	if r := ep.b.resolver; r != nil {
+		if n2, v2, ok := r.Resolve(name.ep); ok {
+			node, ver = n2, v2
+		}
+	}
+	ep.trans[idx] = translation{
+		valid: true, name: name, key: key,
+		credits: ep.b.Node.NIC.Config().RecvQDepth,
+		node:    node, ver: ver,
+	}
+	ep.reverse[name.ep] = idx
 	return nil
 }
 
@@ -208,7 +289,7 @@ func (ep *Endpoint) Unmap(idx int) error {
 	if idx < 0 || idx >= len(ep.trans) || !ep.trans[idx].valid {
 		return ErrBadIndex
 	}
-	delete(ep.reverse, ep.trans[idx].name)
+	delete(ep.reverse, ep.trans[idx].name.ep)
 	ep.trans[idx] = translation{}
 	return nil
 }
@@ -269,6 +350,9 @@ func (ep *Endpoint) request(p *sim.Proc, idx, h int, args [4]uint64, payload []b
 	if ep.b.closed {
 		return ErrClosed
 	}
+	if ep.moved {
+		return ErrMoved
+	}
 	if idx < 0 || idx >= len(ep.trans) || !ep.trans[idx].valid {
 		return ErrBadIndex
 	}
@@ -282,6 +366,11 @@ func (ep *Endpoint) request(p *sim.Proc, idx, h int, args [4]uint64, payload []b
 	// interval backs off while nothing arrives so long waits stay cheap.
 	wait := sim.Duration(cfg.PollHost)
 	for ep.trans[idx].credits == 0 {
+		if ep.moved {
+			// Frozen for migration while waiting; outstanding credits are
+			// settled by the state transfer.
+			return ErrMoved
+		}
 		if ep.pollOnce(p) == 0 {
 			p.Sleep(wait)
 			if wait < 100*sim.Microsecond {
@@ -292,12 +381,54 @@ func (ep *Endpoint) request(p *sim.Proc, idx, h int, args [4]uint64, payload []b
 		}
 	}
 	ep.trans[idx].credits--
-	return ep.enqueue(p, ep.trans[idx].name, ep.trans[idx].key, h, args, payload, false)
+	t := &ep.trans[idx]
+	ep.msgSeq[t.name.ep]++
+	err := ep.post(p, t.node, t.name.ep, t.key, ep.msgSeq[t.name.ep], h, args, payload, false)
+	if err != nil {
+		// post yields (overhead charge, write fault, full send queue) and can
+		// fail mid-flight — e.g. the endpoint is frozen for migration while
+		// blocked. Nothing entered the network, so hand the credit back;
+		// the message id is not reused (gaps are fine for the receiver's
+		// duplicate filter, which tolerates them for returns already).
+		t.credits++
+	}
+	return err
 }
 
-// enqueue charges Os, performs the write-fault protocol, and posts the
-// descriptor, waiting for send-queue space if necessary.
+// locate returns the node currently hosting the named endpoint: the name
+// service's answer when one is attached, else the location hint in the name.
+func (ep *Endpoint) locate(dst EndpointName) netsim.NodeID {
+	if r := ep.b.resolver; r != nil {
+		if node, _, ok := r.Resolve(dst.ep); ok {
+			return node
+		}
+	}
+	return dst.node
+}
+
+// enqueue assigns the next end-to-end message id for dst, locates it, and
+// posts the descriptor (the reply path, which addresses endpoints outside
+// the translation table).
 func (ep *Endpoint) enqueue(p *sim.Proc, dst EndpointName, key Key, h int, args [4]uint64, payload []byte, isReply bool) error {
+	ep.msgSeq[dst.ep]++
+	return ep.post(p, ep.locate(dst), dst.ep, key, ep.msgSeq[dst.ep], h, args, payload, isReply)
+}
+
+// post charges Os, performs the write-fault protocol, and posts a descriptor
+// addressed to endpoint dstEP on node dstNode, waiting for send-queue space
+// if necessary. msgID is the end-to-end message id — callers re-issuing a
+// returned message pass the original id so duplicate suppression at the
+// destination keeps delivery exactly-once.
+func (ep *Endpoint) post(p *sim.Proc, dstNode netsim.NodeID, dstEP int, key Key, msgID uint64, h int, args [4]uint64, payload []byte, isReply bool) error {
+	if ep.b.closed {
+		return ErrClosed
+	}
+	// Replies are allowed through a frozen endpoint: they complete requests
+	// popped before the freeze, and the quiesce drain flushes them before
+	// the image is extracted. New requests are refused.
+	if ep.moved && !isReply {
+		return ErrMoved
+	}
 	cfg := ep.b.Node.NIC.Config()
 	os := cfg.OsShort
 	if isReply {
@@ -314,6 +445,9 @@ func (ep *Endpoint) enqueue(p *sim.Proc, dst EndpointName, key Key, h int, args 
 	}
 	wait := sim.Duration(cfg.PollHost)
 	for sq.Full() {
+		if ep.moved && !isReply {
+			return ErrMoved
+		}
 		// The NI drains the queue; polling meanwhile keeps replies moving.
 		if ep.pollOnce(p) == 0 {
 			p.Sleep(wait)
@@ -324,11 +458,10 @@ func (ep *Endpoint) enqueue(p *sim.Proc, dst EndpointName, key Key, h int, args 
 			wait = sim.Duration(cfg.PollHost)
 		}
 	}
-	ep.msgSeq[dst]++
 	d := &nic.SendDesc{
-		DstNI:    dst.node,
-		DstEP:    dst.ep,
-		MsgID:    ep.msgSeq[dst],
+		DstNI:    dstNode,
+		DstEP:    dstEP,
+		MsgID:    msgID,
 		Key:      key,
 		SrcEP:    ep.seg.EP.ID,
 		Handler:  h,
@@ -386,6 +519,11 @@ func (t *Token) reply(p *sim.Proc, h int, args [4]uint64, payload []byte) error 
 // host memory — the ST-96 vs ST-8 effect of §6.4) and the per-message
 // receive overhead. It returns the number of messages processed.
 func (ep *Endpoint) pollOnce(p *sim.Proc) int {
+	if ep.moved {
+		// The image now belongs to the endpoint's new node; polling through
+		// this stale handle must not steal its messages.
+		return 0
+	}
 	cfg := ep.b.Node.NIC.Config()
 	ep.lock(p)
 	if ep.seg.Resident() {
@@ -394,13 +532,20 @@ func (ep *Endpoint) pollOnce(p *sim.Proc) int {
 		p.Sleep(cfg.PollHost)
 	}
 	n := 0
-	for {
+	for !ep.moved {
+		// Stop popping the moment a freeze lands mid-loop: unconsumed
+		// messages stay in the image and travel with the endpoint.
 		m, ok := ep.seg.EP.PopRecv(p.Now())
 		if !ok {
 			break
 		}
 		n++
+		ep.dispatching++
 		ep.dispatch(p, m)
+		ep.dispatching--
+		if ep.dispatching == 0 && ep.moved {
+			ep.seg.Cond.Broadcast() // wake a Freeze waiting on us
+		}
 	}
 	return n
 }
@@ -419,11 +564,16 @@ func (ep *Endpoint) dispatch(p *sim.Proc, m *nic.RecvMsg) {
 
 	src := EndpointName{node: m.SrcNI, ep: m.SrcEP}
 	if m.IsReturn {
+		if m.Reason == nic.NackMoved && ep.redirect(p, m) {
+			// Bounced off a forwarding entry and transparently re-issued
+			// toward the endpoint's new location; not a user-visible return.
+			return
+		}
 		// Undeliverable message returned to sender: restore the credit it
 		// consumed (requests only) and run the return handler.
 		ep.Stats.Returns++
 		dstIdx := -1
-		if idx, ok := ep.reverse[src]; ok {
+		if idx, ok := ep.reverse[src.ep]; ok {
 			dstIdx = idx
 			if !m.IsReply {
 				ep.trans[idx].credits++
@@ -436,7 +586,7 @@ func (ep *Endpoint) dispatch(p *sim.Proc, m *nic.RecvMsg) {
 	}
 	if m.IsReply {
 		// A reply closes the request's credit.
-		if idx, ok := ep.reverse[src]; ok {
+		if idx, ok := ep.reverse[src.ep]; ok {
 			ep.trans[idx].credits++
 		}
 	}
@@ -450,6 +600,39 @@ func (ep *Endpoint) dispatch(p *sim.Proc, m *nic.RecvMsg) {
 		tok.replied = true // replies must not be replied to
 	}
 	h(p, tok, m.Args, m.Payload)
+}
+
+// redirect handles a message bounced by a migrated endpoint's forwarding
+// entry (NackMoved): it asks the name service for the endpoint's current
+// node, refreshes the cached location binding in the translation table, and
+// re-issues the message verbatim — same message id, same key — so the
+// destination's duplicate suppression keeps end-to-end delivery exactly-once
+// even if an earlier attempt actually landed. It reports whether the message
+// was re-issued; on failure the caller falls through to the application's
+// return handler (§3.2).
+func (ep *Endpoint) redirect(p *sim.Proc, m *nic.RecvMsg) bool {
+	r := ep.b.resolver
+	if r == nil {
+		return false
+	}
+	node, ver, ok := r.Resolve(m.SrcEP)
+	if !ok {
+		return false
+	}
+	if idx, mapped := ep.reverse[m.SrcEP]; mapped {
+		t := &ep.trans[idx]
+		if t.node != node {
+			ep.Stats.Refreshes++
+		}
+		t.node, t.ver = node, ver
+	}
+	if node == m.SrcNI {
+		// The name service still names the node that bounced the message —
+		// it has no newer location, so re-issuing would bounce forever.
+		return false
+	}
+	ep.Stats.Redirects++
+	return ep.post(p, node, m.SrcEP, m.Key, m.MsgID, m.Handler, m.Args, m.Payload, m.IsReply) == nil
 }
 
 // Poll processes pending messages on the endpoint once.
@@ -489,6 +672,9 @@ func (b *Bundle) WaitTimeout(p *sim.Proc, d sim.Duration) bool {
 
 func (b *Bundle) anyArmedPending() bool {
 	for _, ep := range b.eps {
+		if ep.moved {
+			continue // the image belongs to the endpoint's new node now
+		}
 		if ep.seg.EP.EventArmed && ep.seg.EP.PendingRecvs() > 0 {
 			return true
 		}
@@ -504,9 +690,111 @@ func (b *Bundle) Close(p *sim.Proc) {
 	}
 	b.closed = true
 	for _, ep := range b.eps {
+		if ep.moved {
+			continue // freed on this node already; owned elsewhere now
+		}
 		b.Node.Driver.Free(p, ep.seg)
 	}
 	b.cond.Broadcast()
+}
+
+// ---- Live migration support (internal/migrate orchestrates) ----
+
+// MigrationState is the serializable whole of an endpoint: the NI image
+// (message queues, duplicate-suppression windows, protection key) plus the
+// library state above it (translation table with credit windows, end-to-end
+// message sequences, handler table). The migration manager ships it between
+// nodes as bulk Active Message traffic and reconstitutes the endpoint at the
+// destination with Bundle.Install.
+type MigrationState struct {
+	// Image is the frozen NI endpoint image; exported so the host OS driver
+	// at the destination can adopt it.
+	Image *nic.EndpointImage
+
+	name     EndpointName
+	mode     Mode
+	handlers [NumHandlers]Handler
+	onReturn ReturnHandler
+	trans    []translation
+	msgSeq   map[int]uint64
+	reverse  map[int]int
+	stats    Stats
+}
+
+// Bytes estimates the serialized size of the state for the bulk transfer:
+// the endpoint frame image (which contains the queued messages) plus the
+// library tables above it.
+func (s *MigrationState) Bytes(frameBytes int) int {
+	n := frameBytes
+	n += 24 * len(s.trans)   // (name, key, credits, node, ver) slots
+	n += 16 * len(s.msgSeq)  // per-peer sequence counters
+	n += 16 * len(s.reverse) // reverse index
+	return n
+}
+
+// Freeze detaches the endpoint from this bundle for migration: subsequent
+// operations on the handle fail with ErrMoved and threads blocked in its
+// flow-control loops wake into that error. Handlers already dispatched are
+// allowed to finish — including sending their replies — before Freeze
+// returns, so no consumed request loses its reply to the move. The caller
+// (the migration manager) then quiesces the NI side via the segment driver
+// and extracts the state. Messages still queued travel with the image.
+func (ep *Endpoint) Freeze(p *sim.Proc) {
+	ep.moved = true
+	ep.seg.OnEvent = nil
+	ep.b.cond.Broadcast()
+	ep.seg.Cond.Broadcast()
+	for ep.dispatching > 0 {
+		ep.seg.Cond.Wait(p)
+	}
+}
+
+// Extract snapshots the frozen endpoint's complete state for transfer. The
+// endpoint must be frozen and its NI side quiesced (empty send queues, no
+// packets in flight) — the segment driver's BeginMigration guarantees that.
+func (ep *Endpoint) Extract() *MigrationState {
+	if !ep.moved {
+		panic("core: Extract of an endpoint that was not frozen")
+	}
+	return &MigrationState{
+		Image:    ep.seg.EP,
+		name:     ep.name,
+		mode:     ep.mode,
+		handlers: ep.handlers,
+		onReturn: ep.onReturn,
+		trans:    ep.trans,
+		msgSeq:   ep.msgSeq,
+		reverse:  ep.reverse,
+		stats:    ep.Stats,
+	}
+}
+
+// Install reconstitutes a migrated endpoint in this bundle: the host OS
+// driver adopts the image (registering it with the local NI under its
+// original id and key), and the library state — translations, credits,
+// sequences, handlers — resumes exactly where the source froze it. Pending
+// received messages are delivered by the next poll, and peers' cached
+// translations keep working once their traffic is redirected here.
+func (b *Bundle) Install(state *MigrationState) (*Endpoint, error) {
+	if b.closed {
+		return nil, ErrClosed
+	}
+	seg := b.Node.Driver.InstallSegment(state.Image)
+	ep := &Endpoint{
+		b:        b,
+		seg:      seg,
+		name:     state.name,
+		mode:     state.mode,
+		handlers: state.handlers,
+		onReturn: state.onReturn,
+		trans:    state.trans,
+		msgSeq:   state.msgSeq,
+		reverse:  state.reverse,
+		Stats:    state.stats,
+	}
+	seg.OnEvent = func() { b.cond.Broadcast() }
+	b.eps = append(b.eps, ep)
+	return ep, nil
 }
 
 // MakeVirtualNetwork wires a set of endpoints into a fully connected

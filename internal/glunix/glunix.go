@@ -71,12 +71,28 @@ func (j *Job) RunTime() sim.Duration {
 	return j.finished.Sub(j.started)
 }
 
+// Evacuator relocates the communication endpoints living on a node onto
+// other nodes, preserving live traffic; the live-migration subsystem
+// (internal/migrate) implements it. targets lists candidate destination
+// nodes in preference order.
+type Evacuator interface {
+	Evacuate(p *sim.Proc, node int, targets []int) (moved int, err error)
+}
+
 // Scheduler is the cluster-wide job manager.
 type Scheduler struct {
 	cluster *hostos.Cluster
 	free    map[int]bool
 	queue   []*Job
 	nextID  int
+
+	// busy marks nodes currently allocated to a running job.
+	busy map[int]bool
+	// drained marks nodes withdrawn from scheduling (DrainNode); they are
+	// never allocated and are not returned to the free pool by job
+	// completion until restored.
+	drained map[int]bool
+	evac    Evacuator
 
 	// busyTime accumulates node-seconds of allocation for utilization.
 	busyTime   sim.Duration
@@ -92,12 +108,66 @@ var ErrTooWide = errors.New("glunix: job wider than the cluster")
 
 // NewScheduler manages all nodes of the cluster.
 func NewScheduler(c *hostos.Cluster) *Scheduler {
-	s := &Scheduler{cluster: c, free: make(map[int]bool)}
+	s := &Scheduler{
+		cluster: c,
+		free:    make(map[int]bool),
+		busy:    make(map[int]bool),
+		drained: make(map[int]bool),
+	}
 	for i := range c.Nodes {
 		s.free[i] = true
 	}
 	return s
 }
+
+// SetEvacuator attaches the migration subsystem used by DrainNode.
+func (s *Scheduler) SetEvacuator(ev Evacuator) { s.evac = ev }
+
+// DrainNode withdraws node id from the schedulable pool and, when an
+// evacuator is attached, live-migrates the endpoints residing there onto
+// the remaining schedulable nodes — the "migrate node N's endpoints away"
+// policy for hot-spot drains and rolling node replacement. It returns the
+// number of endpoints moved.
+func (s *Scheduler) DrainNode(p *sim.Proc, id int) (int, error) {
+	if id < 0 || id >= len(s.cluster.Nodes) {
+		return 0, fmt.Errorf("glunix: no node %d", id)
+	}
+	if s.drained[id] {
+		return 0, fmt.Errorf("glunix: node %d already drained", id)
+	}
+	s.drained[id] = true
+	delete(s.free, id)
+	if s.evac == nil {
+		return 0, nil
+	}
+	var targets []int
+	for t := range s.cluster.Nodes {
+		if t != id && !s.drained[t] {
+			targets = append(targets, t)
+		}
+	}
+	sort.Ints(targets)
+	if len(targets) == 0 {
+		return 0, fmt.Errorf("glunix: no target nodes to evacuate node %d onto", id)
+	}
+	return s.evac.Evacuate(p, id, targets)
+}
+
+// RestoreNode returns a drained node to the schedulable pool (e.g. after
+// maintenance) and dispatches any jobs that were waiting for capacity.
+func (s *Scheduler) RestoreNode(id int) {
+	if !s.drained[id] {
+		return
+	}
+	delete(s.drained, id)
+	if !s.busy[id] {
+		s.free[id] = true
+	}
+	s.dispatch()
+}
+
+// Drained reports whether node id is withdrawn from scheduling.
+func (s *Scheduler) Drained(id int) bool { return s.drained[id] }
 
 // FreeNodes reports currently unallocated nodes.
 func (s *Scheduler) FreeNodes() int { return len(s.free) }
@@ -167,6 +237,7 @@ func (s *Scheduler) launch(j *Job) {
 	ids = ids[:j.Width]
 	for _, id := range ids {
 		delete(s.free, id)
+		s.busy[id] = true
 	}
 	s.account()
 	s.allocated += j.Width
@@ -199,7 +270,10 @@ func (s *Scheduler) finish(j *Job) {
 	s.account()
 	s.allocated -= j.Width
 	for _, id := range j.partition {
-		s.free[id] = true
+		delete(s.busy, id)
+		if !s.drained[id] {
+			s.free[id] = true
+		}
 	}
 	s.Completed++
 	j.cond.Broadcast()

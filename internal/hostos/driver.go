@@ -68,6 +68,11 @@ type Segment struct {
 	// this segment; Free must synchronize with it.
 	remapping bool
 	freed     bool
+	// migrating is set while the endpoint is being moved to another node:
+	// the remap machinery must not re-bind it and NI residency requests for
+	// it are discarded (arrivals keep getting transient NACKs until the
+	// forwarding entry takes over).
+	migrating bool
 	freeStamp uint64
 	owner     *Driver
 }
@@ -179,6 +184,85 @@ func (d *Driver) Free(p *sim.Proc, seg *Segment) {
 	d.C.Inc("ep.free")
 }
 
+// BeginMigration quiesces an endpoint for live migration: it drains queued
+// send descriptors (making the endpoint resident if the NI needs it to
+// drain), then marks the segment migrating — which detaches it from the
+// remap machinery — and unloads it from its NI frame, letting the NI's
+// quiesce protocol account for every unacknowledged packet in flight (§5.3).
+// On return the image is on-host with empty send queues and zero in-flight
+// packets; receive-side state (pending messages, duplicate-suppression
+// windows) stays in the image and travels with it. The caller must have
+// stopped new sends into the endpoint first.
+func (d *Driver) BeginMigration(p *sim.Proc, seg *Segment) error {
+	if seg.freed {
+		return fmt.Errorf("hostos: migrate of freed endpoint %d", seg.EP.ID)
+	}
+	if seg.migrating {
+		return fmt.Errorf("hostos: endpoint %d already migrating", seg.EP.ID)
+	}
+	// Drain: the NI only services resident endpoints, so nudge the segment
+	// resident while work remains (the same path §4.2's background thread
+	// uses for evicted endpoints with queued messages).
+	for seg.EP.PendingSends() > 0 || seg.EP.Inflight() > 0 {
+		if !seg.Resident() && !seg.remapQueued && seg.EP.PendingSends() > 0 {
+			if seg.State == OnHostRO || seg.State == OnDisk {
+				seg.State = OnHostRW
+			}
+			d.queueRemap(seg)
+		}
+		p.Sleep(20 * sim.Microsecond)
+		if seg.freed {
+			return fmt.Errorf("hostos: endpoint %d freed during migration drain", seg.EP.ID)
+		}
+	}
+	seg.migrating = true
+	for seg.remapping {
+		seg.Cond.Wait(p)
+	}
+	if seg.EP.State != nic.EPHost {
+		d.submitAndWait(p, &nic.DriverCmd{Op: nic.OpUnload, EP: seg.EP})
+	}
+	d.C.Inc("migrate.quiesce")
+	return nil
+}
+
+// CompleteMigration finishes the source side of a move after the destination
+// has installed and published the endpoint: it removes the image from this
+// node's demux table and installs the NI forwarding entry so stale arrivals
+// are NACKed NackMoved (bounced back toward the sender, which refreshes its
+// translation from the name service).
+func (d *Driver) CompleteMigration(seg *Segment) {
+	if !seg.migrating {
+		panic(fmt.Sprintf("hostos: CompleteMigration of non-migrating endpoint %d", seg.EP.ID))
+	}
+	d.nic.Deregister(seg.EP.ID)
+	delete(d.segs, seg.EP.ID)
+	d.nic.SetMoved(seg.EP.ID)
+	seg.freed = true // stray operations on the stale segment become no-ops
+	seg.Cond.Broadcast()
+	d.C.Inc("migrate.out")
+}
+
+// InstallSegment adopts a migrated-in endpoint image: it rebinds the image
+// to this node, registers it with the local NI, and schedules a background
+// remap so the endpoint becomes resident and serviceable. The image keeps
+// its globally-unique ID and protection key, so peers' cached translations
+// and duplicate-suppression state remain valid across the move.
+func (d *Driver) InstallSegment(img *nic.EndpointImage) *Segment {
+	if _, ok := d.segs[img.ID]; ok {
+		panic(fmt.Sprintf("hostos: install of already-present endpoint %d", img.ID))
+	}
+	img.Node = d.node
+	img.State = nic.EPHost
+	img.Frame = -1
+	seg := &Segment{EP: img, State: OnHostRW, Cond: sim.NewCond(d.e), owner: d}
+	d.segs[img.ID] = seg
+	d.nic.Register(img)
+	d.queueRemap(seg)
+	d.C.Inc("migrate.in")
+	return seg
+}
+
 // Duplicate clones an endpoint segment for a forked process (Solaris
 // segments export a duplicate method, §4.2). The child receives its own
 // endpoint with a fresh identity and empty queues — translations and
@@ -253,7 +337,7 @@ func (d *Driver) queueRemap(seg *Segment) {
 		d.C.Inc("remap.skip_resident")
 		return
 	}
-	if seg.freed {
+	if seg.freed || seg.migrating {
 		d.C.Inc("remap.skip_freed")
 		return
 	}
@@ -273,7 +357,7 @@ func (d *Driver) queueRemap(seg *Segment) {
 func (d *Driver) RequestResident(ep *nic.EndpointImage, stamp uint64) {
 	now := d.tick(stamp)
 	seg, ok := d.segs[ep.ID]
-	if !ok || seg.freed {
+	if !ok || seg.freed || seg.migrating {
 		// The free "happened before" this request resolved (or raced it);
 		// the logical clock lets us discard it deterministically (§4.3).
 		_ = now
@@ -390,7 +474,7 @@ func (d *Driver) remapLoop(p *sim.Proc) {
 		}
 		seg := d.remapQ[0]
 		d.remapQ = d.remapQ[1:]
-		if seg.freed || seg.Resident() {
+		if seg.freed || seg.migrating || seg.Resident() {
 			seg.remapQueued = false
 			continue
 		}
@@ -409,7 +493,7 @@ func (d *Driver) remapOne(p *sim.Proc, seg *Segment) {
 	if d.cfg.RemapScanDelay > 0 {
 		p.Sleep(d.cfg.RemapScanDelay)
 	}
-	if seg.freed {
+	if seg.freed || seg.migrating {
 		return
 	}
 	if seg.State == OnDisk {
@@ -442,11 +526,11 @@ func (d *Driver) remapOne(p *sim.Proc, seg *Segment) {
 			return
 		}
 	}
-	if seg.freed {
+	if seg.freed || seg.migrating {
 		return
 	}
 	p.Sleep(d.cfg.LoadCost)
-	if seg.freed {
+	if seg.freed || seg.migrating {
 		return
 	}
 	if debugRemap {

@@ -65,7 +65,13 @@ type RecvMsg struct {
 	Args     [4]uint64
 	Payload  []byte
 	ReplyKey uint64
-	Arrive   sim.Time
+	// MsgID and Key are populated only on returned messages: they carry the
+	// original end-to-end id and protection key so a returned message can be
+	// re-issued verbatim (the migration redirect preserves MsgID so the
+	// destination's duplicate suppression keeps delivery exactly-once).
+	MsgID  uint64
+	Key    uint64
+	Arrive sim.Time
 	// Visible is when a host poll can first observe the message (deposit
 	// plus SBUS descriptor read latency).
 	Visible sim.Time
@@ -111,6 +117,15 @@ type EndpointImage struct {
 	inflight int // packets in the network from this endpoint
 	// unloadWait holds the pending driver command while quiescing.
 	unloadWait *DriverCmd
+
+	// retOverflow holds returned messages that arrived while RepQ was full.
+	// A return-to-sender deposit goes from NI to host memory and its message
+	// already occupied bounded NI state when it was posted, so the wire-side
+	// reply-queue depth must not bound it: dropping a return would silently
+	// lose the §3.2 undeliverable event and leak the request's credit. The
+	// list empties whenever the host polls (it is part of the image, so it
+	// travels across residency transitions and migrations).
+	retOverflow []*RecvMsg
 
 	// seen tracks delivered MsgIDs per source endpoint for end-to-end
 	// duplicate suppression. It is part of the endpoint image (it moves
@@ -198,6 +213,10 @@ func NewEndpointImage(id int, node netsim.NodeID, sendDepth, recvDepth int) *End
 // Resident reports whether the NI can service the endpoint.
 func (ep *EndpointImage) Resident() bool { return ep.State == EPResident }
 
+// Inflight reports packets from this endpoint currently unacknowledged in
+// the network (the quantity the quiesce protocol drains to zero).
+func (ep *EndpointImage) Inflight() int { return ep.inflight }
+
 // PendingSends reports the number of queued send descriptors.
 func (ep *EndpointImage) PendingSends() int { return ep.SendQ.Len() + ep.RepSendQ.Len() }
 
@@ -210,7 +229,9 @@ func (ep *EndpointImage) sendQueueFor(d *SendDesc) *ring[*SendDesc] {
 }
 
 // PendingRecvs reports queued incoming requests plus replies.
-func (ep *EndpointImage) PendingRecvs() int { return ep.RecvQ.Len() + ep.RepQ.Len() }
+func (ep *EndpointImage) PendingRecvs() int {
+	return ep.RecvQ.Len() + ep.RepQ.Len() + len(ep.retOverflow)
+}
 
 // PopRecv dequeues the next received message visible at time now,
 // preferring replies (they carry completion credits and handlers expect
@@ -218,6 +239,11 @@ func (ep *EndpointImage) PendingRecvs() int { return ep.RecvQ.Len() + ep.RepQ.Le
 func (ep *EndpointImage) PopRecv(now sim.Time) (*RecvMsg, bool) {
 	if m, ok := ep.RepQ.Peek(); ok && m.Visible <= now {
 		ep.RepQ.Pop()
+		return m, true
+	}
+	if len(ep.retOverflow) > 0 && ep.retOverflow[0].Visible <= now {
+		m := ep.retOverflow[0]
+		ep.retOverflow = ep.retOverflow[1:]
 		return m, true
 	}
 	if m, ok := ep.RecvQ.Peek(); ok && m.Visible <= now {

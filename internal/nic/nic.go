@@ -128,6 +128,11 @@ type NIC struct {
 
 	requested map[int]bool // endpoints with an outstanding RequestResident
 
+	// moved records endpoints that migrated away from this NI. Arrivals for
+	// them are NACKed NackMoved so the sender's library re-resolves the name
+	// through the cluster name service and re-issues toward the new node.
+	moved map[int]bool
+
 	// rtt holds per-peer RTT estimators (AdaptiveTimeout extension).
 	rtt map[netsim.NodeID]*rttEst
 	// pendingAcks holds acks awaiting a carrier (PiggybackAcks extension).
@@ -158,6 +163,7 @@ func New(e *sim.Engine, net *netsim.Network, id netsim.NodeID, cfg Config) *NIC 
 		chans:     make(map[netsim.NodeID][]*channel),
 		rx:        make(map[chanKey]*rxState),
 		requested: make(map[int]bool),
+		moved:     make(map[int]bool),
 		C:         trace.NewCounters(),
 	}
 	n.idle = sim.NewCond(e)
@@ -185,15 +191,31 @@ func (n *NIC) Stop() {
 }
 
 // Register makes an endpoint image known to the NI (demultiplexing table).
-// Newly registered endpoints are non-resident.
+// Newly registered endpoints are non-resident. Registering clears any
+// forwarding state left by an earlier migration away from this node (an
+// endpoint may migrate back) and any stale residency-request dedup flag.
 func (n *NIC) Register(ep *EndpointImage) {
 	n.eps[ep.ID] = ep
+	delete(n.moved, ep.ID)
+	delete(n.requested, ep.ID)
+}
+
+// SetMoved installs a forwarding entry: the endpoint is gone from this NI
+// and arrivals for it must be NACKed NackMoved. The endpoint must already be
+// deregistered.
+func (n *NIC) SetMoved(id int) {
+	if _, ok := n.eps[id]; ok {
+		panic("nic: SetMoved on a registered endpoint")
+	}
+	n.moved[id] = true
 }
 
 // Deregister removes an endpoint from the demux table. The endpoint must
-// not be resident (the driver unloads first).
+// not be resident on this NI (the driver unloads first); an image that is
+// resident because the destination NI of a migration already adopted it is
+// fine — it occupies no frame here.
 func (n *NIC) Deregister(id int) {
-	if ep, ok := n.eps[id]; ok && ep.Resident() {
+	if ep, ok := n.eps[id]; ok && ep.Resident() && ep.Node == n.id {
 		panic("nic: deregister of resident endpoint")
 	}
 	delete(n.eps, id)
@@ -607,12 +629,17 @@ func (n *NIC) returnToSender(d *SendDesc, reason NackReason) {
 		Reason:   reason,
 		Args:     d.Args,
 		Payload:  d.Payload,
+		MsgID:    d.MsgID,
+		Key:      d.Key,
 		Arrive:   n.e.Now(),
 		Visible:  n.e.Now(),
 	}
 	if !ep.RepQ.Push(msg) {
-		n.C.Inc("rts.dropped")
-		return
+		// The reply ring is full (the host is not polling — e.g. the
+		// endpoint is frozen for migration). Spill to the host-memory
+		// overflow list rather than dropping the undeliverable event.
+		ep.retOverflow = append(ep.retOverflow, msg)
+		n.C.Inc("rts.overflow")
 	}
 	n.C.Inc("rts.delivered")
 	if ep.OnDeliver != nil {
@@ -683,7 +710,20 @@ func (n *NIC) handleData(p *sim.Proc, pkt *wirePkt) {
 func (n *NIC) deliver(p *sim.Proc, pkt *wirePkt) (pktKind, NackReason) {
 	ep, ok := n.eps[pkt.DstEP]
 	if !ok {
+		if n.moved[pkt.DstEP] {
+			n.C.Inc("rx.moved")
+			return pktNack, NackMoved
+		}
 		return pktNack, NackNoEndpoint
+	}
+	if ep.Node != n.id {
+		// Migration transfer window: the image was already adopted by the
+		// destination NI but the source's forwarding entry is not installed
+		// yet. The new location is published before adoption, so bouncing
+		// with NackMoved (rather than depositing into a queue another NI now
+		// services) resolves to a fresher binding.
+		n.C.Inc("rx.moved")
+		return pktNack, NackMoved
 	}
 	if ep.Key != pkt.Key {
 		return pktNack, NackBadKey

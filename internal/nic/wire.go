@@ -24,6 +24,11 @@ const (
 	NackOverrun                // destination receive queue full; retransmit later
 	NackNoEndpoint             // no such endpoint; return to sender
 	NackBadKey                 // protection key mismatch; return to sender
+	// NackMoved: the endpoint migrated to another node. Returned to the
+	// sender so the library can refresh the name's location binding from the
+	// cluster name service and re-issue toward the new node (§3.2's
+	// return-to-sender machinery doubling as the migration redirect).
+	NackMoved
 )
 
 func (r NackReason) String() string {
@@ -36,6 +41,8 @@ func (r NackReason) String() string {
 		return "no-endpoint"
 	case NackBadKey:
 		return "bad-key"
+	case NackMoved:
+		return "moved"
 	}
 	return "none"
 }

@@ -6,6 +6,7 @@ package trace
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 
@@ -49,25 +50,72 @@ func (c *Counters) String() string {
 	return b.String()
 }
 
-// Hist is a histogram over sim.Duration samples. It keeps raw samples (the
-// experiments record at most a few hundred thousand) so exact quantiles and
-// modality analysis are available.
+// Hist is a histogram over sim.Duration samples. By default it keeps every
+// raw sample (the experiments record at most a few hundred thousand) so
+// exact quantiles and modality analysis are available; NewHistReservoir
+// bounds memory for long soak and migration-churn runs by keeping a uniform
+// random sample instead. Count, Mean, Min, and Max are exact in both modes;
+// quantiles and bucket renderings are computed over whatever is retained.
 type Hist struct {
 	samples []sim.Duration
 	sorted  bool
+
+	// Reservoir mode (capacity > 0): samples is a uniform random subset of
+	// the stream, maintained with Vitter's Algorithm R.
+	capacity int
+	rng      *rand.Rand
+
+	// Exact stream aggregates, maintained in both modes.
+	n        int64
+	sum      int64
+	min, max sim.Duration
 }
 
-// NewHist returns an empty histogram.
+// NewHist returns an empty histogram that retains every sample.
 func NewHist() *Hist { return &Hist{} }
+
+// NewHistReservoir returns a histogram that retains at most capacity
+// samples, chosen uniformly at random from the observed stream. rng must be
+// the simulation engine's PRNG (sim.Engine.Rand) so runs stay
+// bit-reproducible per seed.
+func NewHistReservoir(capacity int, rng *rand.Rand) *Hist {
+	if capacity <= 0 {
+		panic("trace: reservoir capacity must be positive")
+	}
+	if rng == nil {
+		panic("trace: reservoir needs the engine PRNG")
+	}
+	return &Hist{capacity: capacity, rng: rng, samples: make([]sim.Duration, 0, capacity)}
+}
 
 // Observe records one sample.
 func (h *Hist) Observe(d sim.Duration) {
+	h.n++
+	h.sum += int64(d)
+	if h.n == 1 || d < h.min {
+		h.min = d
+	}
+	if h.n == 1 || d > h.max {
+		h.max = d
+	}
+	if h.capacity > 0 && len(h.samples) == h.capacity {
+		// Algorithm R: the i-th sample replaces a random slot with
+		// probability capacity/i, keeping the reservoir uniform.
+		if j := h.rng.Int63n(h.n); j < int64(h.capacity) {
+			h.samples[j] = d
+			h.sorted = false
+		}
+		return
+	}
 	h.samples = append(h.samples, d)
 	h.sorted = false
 }
 
-// Count returns the number of samples.
-func (h *Hist) Count() int { return len(h.samples) }
+// Count returns the number of observed samples (exact in reservoir mode).
+func (h *Hist) Count() int { return int(h.n) }
+
+// Retained returns how many samples are held in memory.
+func (h *Hist) Retained() int { return len(h.samples) }
 
 func (h *Hist) sortSamples() {
 	if !h.sorted {
@@ -86,34 +134,17 @@ func (h *Hist) Quantile(q float64) sim.Duration {
 	return h.samples[i]
 }
 
-// Mean returns the mean sample value.
+// Mean returns the mean sample value (exact in reservoir mode).
 func (h *Hist) Mean() sim.Duration {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	var sum int64
-	for _, s := range h.samples {
-		sum += int64(s)
-	}
-	return sim.Duration(sum / int64(len(h.samples)))
+	return sim.Duration(h.sum / h.n)
 }
 
-// Min and Max return sample extremes.
-func (h *Hist) Min() sim.Duration { h.sortSamples(); return h.q0() }
-func (h *Hist) Max() sim.Duration {
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.sortSamples()
-	return h.samples[len(h.samples)-1]
-}
-
-func (h *Hist) q0() sim.Duration {
-	if len(h.samples) == 0 {
-		return 0
-	}
-	return h.samples[0]
-}
+// Min and Max return stream extremes (exact in reservoir mode).
+func (h *Hist) Min() sim.Duration { return h.min }
+func (h *Hist) Max() sim.Duration { return h.max }
 
 // BimodalSplit splits samples around threshold and returns the fraction and
 // mean of each mode. The §6.4.1 analysis uses this to show that requests

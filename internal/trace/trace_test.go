@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -185,5 +186,70 @@ func TestTimeline(t *testing.T) {
 	}
 	if tl.String() == "" {
 		t.Fatal("empty string render")
+	}
+}
+
+func TestHistReservoirBoundsMemoryExactAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistReservoir(64, rng)
+	const n = 10_000
+	var sum int64
+	for i := 1; i <= n; i++ {
+		h.Observe(sim.Duration(i))
+		sum += int64(i)
+	}
+	if h.Retained() != 64 {
+		t.Fatalf("retained = %d, want capacity 64", h.Retained())
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d (exact despite reservoir)", h.Count(), n)
+	}
+	if h.Mean() != sim.Duration(sum/int64(n)) {
+		t.Fatalf("mean = %v, want exact %v", h.Mean(), sim.Duration(sum/int64(n)))
+	}
+	if h.Min() != 1 || h.Max() != sim.Duration(n) {
+		t.Fatalf("min/max = %v/%v, want exact 1/%d", h.Min(), h.Max(), n)
+	}
+	// The reservoir is a uniform subset: its median should land in the
+	// middle half of a uniform stream (loose sanity bound, deterministic
+	// for this seed).
+	med := h.Quantile(0.5)
+	if med < n/4 || med > 3*n/4 {
+		t.Fatalf("reservoir median %v implausible for uniform stream of %d", med, n)
+	}
+	if h.Buckets(10) == "(no samples)\n" {
+		t.Fatal("buckets empty")
+	}
+}
+
+func TestHistReservoirDeterministicPerSeed(t *testing.T) {
+	run := func() []sim.Duration {
+		h := NewHistReservoir(16, rand.New(rand.NewSource(42)))
+		for i := 0; i < 1000; i++ {
+			h.Observe(sim.Duration(i * 3))
+		}
+		return append([]sim.Duration(nil), h.samples...)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reservoir diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHistUnboundedStillExact(t *testing.T) {
+	h := NewHist()
+	for _, v := range []sim.Duration{5, 1, 9, 3} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Retained() != 4 {
+		t.Fatalf("count/retained = %d/%d", h.Count(), h.Retained())
+	}
+	if h.Min() != 1 || h.Max() != 9 || h.Mean() != 4 {
+		t.Fatalf("min/max/mean = %v/%v/%v", h.Min(), h.Max(), h.Mean())
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 9 {
+		t.Fatalf("quantiles broken: %v %v", h.Quantile(0), h.Quantile(1))
 	}
 }
