@@ -12,6 +12,7 @@
 //	vnbench overcommit        §6.4.1  8:1 overcommit: remap rate, bimodal RTTs
 //	vnbench ablations         §6.4.1  design-choice ablations
 //	vnbench migrate           ext.    live endpoint migration: blackout, loss=0
+//	vnbench faults            ext.    fault injection + automated recovery
 //	vnbench all               everything above
 //
 // Use -quick for smaller client sweeps and shorter windows.
@@ -58,11 +59,12 @@ func main() {
 		"overcommit":       runOvercommit,
 		"ablations":        runAblations,
 		"migrate":          runMigrate,
+		"faults":           runFaults,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"logp", "bandwidth", "npb", "contention-small",
 			"contention-bulk", "linpack", "timeshare", "overcommit", "ablations",
-			"sensitivity", "migrate"} {
+			"sensitivity", "migrate", "faults"} {
 			cmds[name]()
 		}
 		return

@@ -55,6 +55,9 @@ type Job struct {
 	started   sim.Time
 	finished  sim.Time
 	cond      *sim.Cond
+	// procs are the gang's rank threads, tracked so a node death can kill
+	// the whole gang and requeue the job.
+	procs []*sim.Proc
 }
 
 // Partition returns the node indices the job ran on (nil while queued).
@@ -94,6 +97,13 @@ type Scheduler struct {
 	drained map[int]bool
 	evac    Evacuator
 
+	// dead marks nodes the health monitor declared failed; like drained
+	// they are unschedulable, but their death also aborts and requeues any
+	// job running there.
+	dead map[int]bool
+	// jobsOn maps an allocated node to the running job occupying it.
+	jobsOn map[int]*Job
+
 	// busyTime accumulates node-seconds of allocation for utilization.
 	busyTime   sim.Duration
 	lastChange sim.Time
@@ -101,6 +111,8 @@ type Scheduler struct {
 
 	// Completed counts finished jobs.
 	Completed int
+	// Requeued counts gang restarts caused by node death.
+	Requeued int
 }
 
 // ErrTooWide is returned when a job requests more nodes than exist.
@@ -113,6 +125,8 @@ func NewScheduler(c *hostos.Cluster) *Scheduler {
 		free:    make(map[int]bool),
 		busy:    make(map[int]bool),
 		drained: make(map[int]bool),
+		dead:    make(map[int]bool),
+		jobsOn:  make(map[int]*Job),
 	}
 	for i := range c.Nodes {
 		s.free[i] = true
@@ -142,7 +156,7 @@ func (s *Scheduler) DrainNode(p *sim.Proc, id int) (int, error) {
 	}
 	var targets []int
 	for t := range s.cluster.Nodes {
-		if t != id && !s.drained[t] {
+		if t != id && !s.drained[t] && !s.dead[t] {
 			targets = append(targets, t)
 		}
 	}
@@ -160,7 +174,7 @@ func (s *Scheduler) RestoreNode(id int) {
 		return
 	}
 	delete(s.drained, id)
-	if !s.busy[id] {
+	if !s.busy[id] && !s.dead[id] {
 		s.free[id] = true
 	}
 	s.dispatch()
@@ -251,15 +265,20 @@ func (s *Scheduler) launch(j *Job) {
 	for r, id := range ids {
 		nodes[r] = s.cluster.Nodes[id]
 	}
+	for _, id := range ids {
+		s.jobsOn[id] = j
+	}
+	j.procs = nil
 	for r := range ids {
 		r := r
-		nodes[r].Spawn(fmt.Sprintf("job%d.r%d", j.ID, r), func(p *sim.Proc) {
+		pr := nodes[r].Spawn(fmt.Sprintf("job%d.r%d", j.ID, r), func(p *sim.Proc) {
 			j.fn(p, r, nodes)
 			j.remaining--
 			if j.remaining == 0 {
 				s.finish(j)
 			}
 		})
+		j.procs = append(j.procs, pr)
 	}
 }
 
@@ -267,11 +286,13 @@ func (s *Scheduler) launch(j *Job) {
 func (s *Scheduler) finish(j *Job) {
 	j.State = Done
 	j.finished = s.cluster.E.Now()
+	j.procs = nil
 	s.account()
 	s.allocated -= j.Width
 	for _, id := range j.partition {
 		delete(s.busy, id)
-		if !s.drained[id] {
+		delete(s.jobsOn, id)
+		if !s.drained[id] && !s.dead[id] {
 			s.free[id] = true
 		}
 	}
@@ -279,6 +300,61 @@ func (s *Scheduler) finish(j *Job) {
 	j.cond.Broadcast()
 	s.dispatch()
 }
+
+// NodeDead removes a failed node from scheduling. A batch job cannot survive
+// the loss of a rank, so any job running on the node is aborted — its
+// surviving gang members are killed — and requeued at the head of the FIFO
+// queue to relaunch on live nodes. The health monitor calls this when a
+// node's heartbeats stop.
+func (s *Scheduler) NodeDead(id int) {
+	if id < 0 || id >= len(s.cluster.Nodes) || s.dead[id] {
+		return
+	}
+	s.dead[id] = true
+	delete(s.free, id)
+	if j := s.jobsOn[id]; j != nil && j.State == Running {
+		s.requeue(j)
+	}
+	s.dispatch()
+}
+
+// requeue aborts a running job and puts it back at the head of the queue.
+func (s *Scheduler) requeue(j *Job) {
+	for _, pr := range j.procs {
+		pr.Kill() // ranks on the dead node are already gone; no-op there
+	}
+	j.procs = nil
+	s.account()
+	s.allocated -= j.Width
+	for _, id := range j.partition {
+		delete(s.busy, id)
+		delete(s.jobsOn, id)
+		if !s.drained[id] && !s.dead[id] {
+			s.free[id] = true
+		}
+	}
+	j.partition = nil
+	j.State = Queued
+	j.remaining = 0
+	s.Requeued++
+	s.queue = append([]*Job{j}, s.queue...)
+}
+
+// NodeRecovered returns a previously dead node to the schedulable pool
+// (after a restart and reinstatement by the monitor).
+func (s *Scheduler) NodeRecovered(id int) {
+	if !s.dead[id] {
+		return
+	}
+	delete(s.dead, id)
+	if !s.busy[id] && !s.drained[id] {
+		s.free[id] = true
+	}
+	s.dispatch()
+}
+
+// Dead reports whether node id is declared failed.
+func (s *Scheduler) Dead(id int) bool { return s.dead[id] }
 
 // Wait blocks the proc until the job finishes.
 func (s *Scheduler) Wait(p *sim.Proc, j *Job) {

@@ -1,0 +1,134 @@
+package glunix
+
+import (
+	"testing"
+
+	"virtnet/internal/hostos"
+	"virtnet/internal/netsim"
+	"virtnet/internal/sim"
+)
+
+type fakeNames struct{ dropped []netsim.NodeID }
+
+func (f *fakeNames) DropNode(n netsim.NodeID) int {
+	f.dropped = append(f.dropped, n)
+	return 0
+}
+
+// A node crash must be detected by missed heartbeats; the dead node's gang
+// job is killed and requeued onto live nodes, the name service is told to
+// drop the node, and the OnDead hook fires — while unaffected jobs and the
+// rest of the cluster keep running.
+func TestMonitorDeclaresDeathAndRequeuesJobs(t *testing.T) {
+	c := hostos.NewCluster(3, 6, hostos.DefaultClusterConfig())
+	defer c.Shutdown()
+	s := NewScheduler(c)
+	names := &fakeNames{}
+	mon, err := NewMonitor(c, s, names, 0, DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hookNodes []int
+	mon.OnDead(func(p *sim.Proc, node int) { hookNodes = append(hookNodes, node) })
+
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit(2, func(p *sim.Proc, rank int, nodes []*hostos.Node) {
+			p.Sleep(40 * sim.Millisecond)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	c.E.Schedule(20*sim.Millisecond, func() { c.Nodes[2].Crash() })
+
+	if !s.Drain(2 * sim.Second) {
+		t.Fatalf("jobs did not drain: queued=%d allocated=%d", s.Queued(), s.allocated)
+	}
+	if !mon.Dead(2) || !s.Dead(2) {
+		t.Fatal("node 2 not declared dead")
+	}
+	if mon.Deaths != 1 {
+		t.Fatalf("Deaths = %d, want 1", mon.Deaths)
+	}
+	if s.Requeued == 0 {
+		t.Fatal("the dead node's job was never requeued")
+	}
+	if len(hookNodes) != 1 || hookNodes[0] != 2 {
+		t.Fatalf("OnDead hooks fired for %v, want [2]", hookNodes)
+	}
+	if len(names.dropped) != 1 || names.dropped[0] != 2 {
+		t.Fatalf("name service drops = %v, want [2]", names.dropped)
+	}
+	for _, j := range jobs {
+		if j.State != Done {
+			t.Fatalf("job %d is %v, want done", j.ID, j.State)
+		}
+		for _, id := range j.Partition() {
+			if id == 2 {
+				t.Fatalf("job %d finished on dead node 2 (partition %v)", j.ID, j.Partition())
+			}
+		}
+	}
+	if mon.Beats == 0 {
+		t.Fatal("master never heard a heartbeat")
+	}
+}
+
+// A firmware reboot is a benign outage well under the silence threshold:
+// the monitor must not false-positive.
+func TestMonitorToleratesFirmwareReboot(t *testing.T) {
+	c := hostos.NewCluster(5, 4, hostos.DefaultClusterConfig())
+	defer c.Shutdown()
+	mon, err := NewMonitor(c, nil, nil, 0, DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.E.Schedule(30*sim.Millisecond, func() { c.Nodes[1].NIC.Reboot(2 * sim.Millisecond) })
+	c.E.RunFor(300 * sim.Millisecond)
+	if mon.Deaths != 0 {
+		t.Fatalf("monitor declared %d deaths across a 2 ms reboot", mon.Deaths)
+	}
+}
+
+// Reinstate returns a restarted node to service: beats resume, the
+// scheduler can allocate it again.
+func TestReinstateAfterRestart(t *testing.T) {
+	c := hostos.NewCluster(11, 3, hostos.DefaultClusterConfig())
+	defer c.Shutdown()
+	s := NewScheduler(c)
+	mon, err := NewMonitor(c, s, nil, 0, DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.E.Schedule(10*sim.Millisecond, func() { c.Nodes[2].Crash() })
+	c.E.RunFor(200 * sim.Millisecond)
+	if !mon.Dead(2) {
+		t.Fatal("node 2 not declared dead")
+	}
+	c.Nodes[2].Restart()
+	if err := mon.Reinstate(2); err != nil {
+		t.Fatal(err)
+	}
+	beatsAt := mon.Beats
+	c.E.RunFor(100 * sim.Millisecond)
+	if mon.Dead(2) {
+		t.Fatal("reinstated node re-declared dead")
+	}
+	if mon.Beats <= beatsAt {
+		t.Fatal("no beats from the reinstated node")
+	}
+	j, err := s.Submit(3, func(p *sim.Proc, rank int, nodes []*hostos.Node) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Drain(time500ms) {
+		t.Fatal("width-3 job needs the reinstated node and never ran")
+	}
+	if j.State != Done {
+		t.Fatalf("job state %v", j.State)
+	}
+}
+
+const time500ms = 500 * sim.Millisecond

@@ -17,6 +17,7 @@ package hostos
 
 import (
 	"fmt"
+	"sort"
 
 	"virtnet/internal/netsim"
 	"virtnet/internal/nic"
@@ -101,6 +102,7 @@ type Driver struct {
 	// C counts faults, remaps, victim evictions, notifies.
 	C *trace.Counters
 
+	crashed bool
 	stopped bool
 }
 
@@ -140,6 +142,47 @@ func (d *Driver) Stop() {
 	d.stopped = true
 	d.remapCond.Broadcast()
 }
+
+// Crash drops the driver's entire state with its host. Every segment is
+// marked dead and its condition broadcast, so threads on *other* nodes
+// blocked against this driver (a migration source waiting out a remap, for
+// example) wake up, observe the death, and error out instead of hanging.
+func (d *Driver) Crash() {
+	if d.crashed {
+		return
+	}
+	d.crashed = true
+	d.proc.Kill()
+	ids := make([]int, 0, len(d.segs))
+	for id := range d.segs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		seg := d.segs[id]
+		seg.freed = true
+		seg.remapping = false
+		seg.remapQueued = false
+		seg.Cond.Broadcast()
+	}
+	d.segs = make(map[int]*Segment)
+	d.remapQ = nil
+	d.C.Inc("node.crash")
+}
+
+// Restart brings the driver back with no segments and a fresh background
+// remap thread.
+func (d *Driver) Restart() {
+	if !d.crashed {
+		return
+	}
+	d.crashed = false
+	d.proc = d.e.Spawn(fmt.Sprintf("segdrv%d", d.node), d.remapLoop)
+	d.C.Inc("node.restart")
+}
+
+// Crashed reports whether the driver's host is down.
+func (d *Driver) Crashed() bool { return d.crashed }
 
 func (d *Driver) tick(remote uint64) uint64 {
 	if remote > d.lamport {
@@ -194,6 +237,9 @@ func (d *Driver) Free(p *sim.Proc, seg *Segment) {
 // windows) stays in the image and travels with it. The caller must have
 // stopped new sends into the endpoint first.
 func (d *Driver) BeginMigration(p *sim.Proc, seg *Segment) error {
+	if d.crashed {
+		return ErrCrashed
+	}
 	if seg.freed {
 		return fmt.Errorf("hostos: migrate of freed endpoint %d", seg.EP.ID)
 	}
@@ -211,6 +257,9 @@ func (d *Driver) BeginMigration(p *sim.Proc, seg *Segment) error {
 			d.queueRemap(seg)
 		}
 		p.Sleep(20 * sim.Microsecond)
+		if d.crashed {
+			return ErrCrashed
+		}
 		if seg.freed {
 			return fmt.Errorf("hostos: endpoint %d freed during migration drain", seg.EP.ID)
 		}
@@ -218,6 +267,9 @@ func (d *Driver) BeginMigration(p *sim.Proc, seg *Segment) error {
 	seg.migrating = true
 	for seg.remapping {
 		seg.Cond.Wait(p)
+	}
+	if d.crashed {
+		return ErrCrashed
 	}
 	if seg.EP.State != nic.EPHost {
 		d.submitAndWait(p, &nic.DriverCmd{Op: nic.OpUnload, EP: seg.EP})
@@ -241,6 +293,21 @@ func (d *Driver) CompleteMigration(seg *Segment) {
 	seg.freed = true // stray operations on the stale segment become no-ops
 	seg.Cond.Broadcast()
 	d.C.Inc("migrate.out")
+}
+
+// AbortMigration abandons the source side of a move whose destination
+// became unreachable: the quiesced image is withdrawn from this node's
+// tables so it can be reinstalled (locally or elsewhere) under the same id.
+// No forwarding entry is written — the endpoint is not moving after all.
+func (d *Driver) AbortMigration(seg *Segment) {
+	if !seg.migrating {
+		panic(fmt.Sprintf("hostos: AbortMigration of non-migrating endpoint %d", seg.EP.ID))
+	}
+	d.nic.Deregister(seg.EP.ID)
+	delete(d.segs, seg.EP.ID)
+	seg.freed = true // stray operations on the stale segment become no-ops
+	seg.Cond.Broadcast()
+	d.C.Inc("migrate.abort")
 }
 
 // InstallSegment adopts a migrated-in endpoint image: it rebinds the image
@@ -329,6 +396,9 @@ func (d *Driver) PageOut(seg *Segment) error {
 
 // queueRemap schedules seg for residency with the background thread.
 func (d *Driver) queueRemap(seg *Segment) {
+	if d.crashed {
+		return
+	}
 	if seg.remapQueued {
 		d.C.Inc("remap.skip_queued")
 		return
@@ -396,6 +466,11 @@ func (d *Driver) Notify(ep *nic.EndpointImage) {
 // submitAndWait issues a driver/NI command and blocks the proc until the NI
 // completes it.
 func (d *Driver) submitAndWait(p *sim.Proc, cmd *nic.DriverCmd) {
+	if d.crashed {
+		// The NI is dark and will never complete the command; callers
+		// re-check crashed/freed after every blocking step.
+		return
+	}
 	done := false
 	c := sim.NewCond(d.e)
 	cmd.Done = func() {

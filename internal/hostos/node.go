@@ -1,12 +1,16 @@
 package hostos
 
 import (
+	"errors"
 	"fmt"
 
 	"virtnet/internal/netsim"
 	"virtnet/internal/nic"
 	"virtnet/internal/sim"
 )
+
+// ErrCrashed is returned by driver operations interrupted by a node crash.
+var ErrCrashed = errors.New("hostos: node crashed")
 
 // Node is one workstation: a host CPU with a local time-slicing scheduler,
 // an NI, and the endpoint segment driver.
@@ -21,6 +25,11 @@ type Node struct {
 	// runnable counts procs that currently want the CPU; the fast path in
 	// Compute skips slicing when the node is uncontended.
 	runnable int
+
+	// procs tracks threads spawned on this node so a whole-node crash can
+	// kill them; finished entries are compacted lazily.
+	procs   []*sim.Proc
+	crashed bool
 }
 
 // NewNode builds a workstation attached to net as host id.
@@ -32,8 +41,56 @@ func NewNode(e *sim.Engine, net *netsim.Network, id netsim.NodeID, ncfg nic.Conf
 
 // Spawn starts an application process/thread on this node.
 func (n *Node) Spawn(name string, fn func(p *sim.Proc)) *sim.Proc {
-	return n.E.Spawn(fmt.Sprintf("n%d/%s", n.ID, name), fn)
+	if len(n.procs) >= 64 {
+		live := n.procs[:0]
+		for _, q := range n.procs {
+			if !q.Done() {
+				live = append(live, q)
+			}
+		}
+		n.procs = live
+	}
+	p := n.E.Spawn(fmt.Sprintf("n%d/%s", n.ID, name), fn)
+	n.procs = append(n.procs, p)
+	return p
 }
+
+// Crash fails the whole workstation at the current instant: every process
+// and kernel thread dies mid-instruction, all resident endpoints and
+// in-flight DMA are dropped, and the host's access link goes dark. Peers'
+// messages toward the dead node go unacknowledged until their transport
+// returns them to sender (§3.2). Must be invoked from event context or from
+// a proc not running on this node.
+func (n *Node) Crash() {
+	if n.crashed {
+		return
+	}
+	n.crashed = true
+	for _, p := range n.procs {
+		p.Kill()
+	}
+	n.procs = nil
+	n.Driver.Crash()
+	n.NIC.Crash()
+	// Local scheduler state (run queue, held quanta) dies with the host.
+	n.cpu = sim.NewSemaphore(n.E, 1)
+	n.runnable = 0
+}
+
+// Restart boots the workstation back up with a cold NI and an empty segment
+// driver: endpoints that lived here are gone, and applications must recreate
+// endpoints and republish names.
+func (n *Node) Restart() {
+	if !n.crashed {
+		return
+	}
+	n.crashed = false
+	n.NIC.Restart()
+	n.Driver.Restart()
+}
+
+// Crashed reports whether the node is currently down.
+func (n *Node) Crashed() bool { return n.crashed }
 
 // Compute charges d of CPU time to the calling proc under the node's local
 // scheduler. When other procs contend for the node's CPU, time is shared in

@@ -37,6 +37,7 @@
 package migrate
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -102,6 +103,25 @@ func (d *Directory) Publish(ep int, node netsim.NodeID) uint64 {
 
 // Forget removes a name (endpoint freed for good).
 func (d *Directory) Forget(ep int) { delete(d.entries, ep) }
+
+// DropNode removes every binding that points at node (the node died and its
+// endpoints with it), so resolution falls back to names' location hints or
+// fails cleanly instead of steering traffic at a corpse. It returns the
+// number of bindings dropped.
+func (d *Directory) DropNode(node netsim.NodeID) int {
+	var ids []int
+	for id, e := range d.entries {
+		if e.node == node {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		delete(d.entries, id)
+	}
+	d.C.Add("dir.drop_node", int64(len(ids)))
+	return len(ids)
+}
 
 // Version returns the current version of a name (0 if never published).
 func (d *Directory) Version(ep int) uint64 {
@@ -241,6 +261,15 @@ func (s *Service) Endpoint(epID int) (*core.Endpoint, bool) {
 	return m.handle, true
 }
 
+// ErrDestUnreachable reports a move abandoned because the destination node
+// stopped responding; the endpoint was reincarnated back on the source node
+// (the service's managed-handle registry points at the live handle).
+var ErrDestUnreachable = errors.New("migrate: destination unreachable, move aborted")
+
+// commitTimeout bounds how long Move waits for the destination's commit
+// acknowledgment before aborting (well past any transport-level recovery).
+const commitTimeout = 400 * sim.Millisecond
+
 // Move live-migrates ep to node dst. It must run in a proc on the source
 // node. On success the returned stats carry the reincarnated handle; the
 // old handle is dead (core.ErrMoved).
@@ -254,6 +283,9 @@ func (s *Service) Move(p *sim.Proc, ep *core.Endpoint, dst netsim.NodeID) (*Move
 	}
 	if int(dst) < 0 || int(dst) >= len(s.mgrs) {
 		return nil, fmt.Errorf("migrate: no node %d", dst)
+	}
+	if s.c.Nodes[dst].Crashed() {
+		return nil, ErrDestUnreachable
 	}
 	srcMgr := s.mgrs[src.ID]
 	seg := ep.Segment()
@@ -287,14 +319,21 @@ func (s *Service) Move(p *sim.Proc, ep *core.Endpoint, dst netsim.NodeID) (*Move
 		err := srcMgr.agent.RequestBulk(p, int(dst), hChunk, make([]byte, sz),
 			[4]uint64{id, uint64(i), uint64(chunks), uint64(epID)})
 		if err != nil {
-			return nil, fmt.Errorf("migrate: transfer chunk %d: %w", i, err)
+			// The destination agent is unreachable (returned to sender):
+			// abandon the move and bring the endpoint back up locally.
+			return s.abortMove(p, srcMgr, seg, x, id)
 		}
 	}
 
 	// Phase 4 happens at the destination (install + publish); wait for the
-	// commit acknowledgment.
+	// commit acknowledgment — bounded, in case the destination dies between
+	// accepting the last chunk and committing.
+	deadline := s.c.E.Now().Add(commitTimeout)
 	for !x.committed {
-		srcMgr.cond.Wait(p)
+		srcMgr.cond.WaitTimeout(p, 50*sim.Millisecond)
+		if !x.committed && s.c.E.Now() >= deadline {
+			return s.abortMove(p, srcMgr, seg, x, id)
+		}
 	}
 
 	// Phase 5: only now — with the new location published — install the
@@ -315,6 +354,31 @@ func (s *Service) Move(p *sim.Proc, ep *core.Endpoint, dst netsim.NodeID) (*Move
 		Bytes:    bytes,
 		Chunks:   chunks,
 	}, nil
+}
+
+// abortMove abandons a transfer whose destination stopped responding and
+// reincarnates the already-extracted endpoint back on the source node, so
+// the service's managed registry keeps pointing at a live handle. Callers
+// always get ErrDestUnreachable; recovered handles are found via Endpoint.
+func (s *Service) abortMove(p *sim.Proc, srcMgr *Manager, seg *hostos.Segment, x *xfer, id uint64) (*MoveStats, error) {
+	delete(s.xfers, id)
+	src := srcMgr.node
+	if src.Crashed() {
+		return nil, hostos.ErrCrashed
+	}
+	src.Driver.AbortMigration(seg)
+	ep2, err := srcMgr.install.Install(x.state)
+	if err != nil {
+		return nil, fmt.Errorf("migrate: abort reinstall of endpoint %d: %w", x.epID, err)
+	}
+	s.Dir.Publish(x.epID, src.ID)
+	if m, ok := s.managed[x.epID]; ok {
+		m.handle = ep2
+		if m.onSwap != nil {
+			m.onSwap(ep2)
+		}
+	}
+	return nil, ErrDestUnreachable
 }
 
 // onChunk receives one transfer chunk at the destination agent. When the

@@ -15,6 +15,7 @@ package netsim
 
 import (
 	"fmt"
+	"strings"
 
 	"virtnet/internal/sim"
 )
@@ -37,6 +38,10 @@ type Packet struct {
 	// duplicated by a retransmission because the sender's injection path
 	// is the same blocked path.
 	Parked bool
+	// Corrupt marks a packet whose bits were flipped in flight (fault
+	// injection). The network still delivers it; the receiving NI's CRC
+	// check discards it, and the transport's retransmission masks the loss.
+	Corrupt bool
 }
 
 // Config describes the physical network.
@@ -75,6 +80,52 @@ type link struct {
 	freeAt sim.Time
 	busy   sim.Duration // cumulative occupancy, for utilization reporting
 	down   bool         // hot-swapped out (§3.2): packets on it are lost
+	// ge, when non-nil, is the link's Gilbert–Elliott correlated-loss
+	// process; replacing the pointer atomically retargets or disables it.
+	ge *geState
+	// Per-link counters: packets that entered the link, that crossed it,
+	// and that died on it (down link, or loss while the GE process was in
+	// its bad state). Surfaced by LinkStats so fault experiments can
+	// localize where loss happened.
+	sent, delivered, dropped int64
+}
+
+// geState is a two-state Gilbert–Elliott loss process: the link alternates
+// between a good and a bad state with exponentially distributed sojourns
+// (transitions are scheduled as engine events), and drops packets with a
+// state-dependent probability — correlated loss bursts rather than the
+// uniform independent loss of Config.DropProb.
+type geState struct {
+	bad      bool
+	lossGood float64
+	lossBad  float64
+}
+
+// BurstParams configures a Gilbert–Elliott burst-loss process.
+type BurstParams struct {
+	// MeanGood and MeanBad are the mean sojourn times of the two states.
+	MeanGood, MeanBad sim.Duration
+	// LossGood and LossBad are the per-packet drop probabilities in each
+	// state.
+	LossGood, LossBad float64
+}
+
+// DefaultBurstParams returns a bursty-loss profile averaging roughly 2%
+// loss: long clean intervals punctuated by short windows dropping half of
+// all packets.
+func DefaultBurstParams() BurstParams {
+	return BurstParams{
+		MeanGood: 25 * sim.Millisecond,
+		MeanBad:  1 * sim.Millisecond,
+		LossGood: 0,
+		LossBad:  0.5,
+	}
+}
+
+// LinkCounters is one link's traffic totals.
+type LinkCounters struct {
+	Name                   string
+	Sent, Delivered, Dropped int64
 }
 
 // Network is the simulated interconnect.
@@ -95,8 +146,13 @@ type Network struct {
 	admission []func() bool
 	waitq     [][]waiting
 	nsPerByte float64
+	// corrupt is the per-packet probability that a delivered packet's bits
+	// are flipped in flight (fault injection; see SetCorruptProb).
+	corrupt float64
 	// Stats
 	Sent, Delivered, Dropped int64
+	// Corrupted counts packets delivered with flipped bits.
+	Corrupted int64
 }
 
 // New builds a network for nhosts hosts on engine e.
@@ -245,6 +301,10 @@ func (n *Network) inject(pkt *Packet, route int) {
 	n.Sent++
 	if n.cfg.DropProb > 0 && n.e.Rand().Float64() < n.cfg.DropProb {
 		n.Dropped++
+		if pkt.Src != pkt.Dst {
+			// Attribute the uniform fabric loss to the sender's access link.
+			n.hostUp[pkt.Src].dropped++
+		}
 		return
 	}
 	if pkt.Src == pkt.Dst {
@@ -253,14 +313,34 @@ func (n *Network) inject(pkt *Packet, route int) {
 	}
 	links := n.path(pkt.Src, pkt.Dst, route)
 	for _, L := range links {
+		L.sent++
 		if L.down {
 			// The route crosses a swapped-out link or switch: the packet
 			// is lost. The NI transport masks this by retransmitting, and
 			// after bounded retries rebinds the message to a channel with
 			// a different route (§5.1) — reconfiguration is transparent.
+			L.dropped++
 			n.Dropped++
 			return
 		}
+		if g := L.ge; g != nil {
+			pl := g.lossGood
+			if g.bad {
+				pl = g.lossBad
+			}
+			if pl > 0 && n.e.Rand().Float64() < pl {
+				L.dropped++
+				n.Dropped++
+				return
+			}
+		}
+	}
+	if n.corrupt > 0 && !pkt.Corrupt && n.e.Rand().Float64() < n.corrupt {
+		pkt.Corrupt = true
+		n.Corrupted++
+	}
+	for _, L := range links {
+		L.delivered++
 	}
 	tx := sim.Duration(float64(pkt.Size) * n.nsPerByte)
 	hop := n.cfg.SwitchLatency
@@ -339,4 +419,145 @@ func (n *Network) SetSpineDown(s int, down bool) {
 func (n *Network) SetHostLinkDown(h NodeID, down bool) {
 	n.hostUp[h].down = down
 	n.hostDown[h].down = down
+}
+
+// SetUplinkDown fails (or repairs) the single leaf<->spine uplink pair
+// between leaf l and spine s — an arbitrary inter-switch link failure, finer
+// grained than a whole-spine hot swap. Traffic through other spines is
+// unaffected.
+func (n *Network) SetUplinkDown(l, s int, down bool) {
+	n.up[l][s].down = down
+	n.down[s][l].down = down
+}
+
+// SetLeafDown fails (or repairs) leaf switch l entirely: every host access
+// link it terminates and every uplink to the spines. Hosts on that leaf are
+// isolated until repair.
+func (n *Network) SetLeafDown(l int, down bool) {
+	for h := l * n.cfg.HostsPerLeaf; h < (l+1)*n.cfg.HostsPerLeaf && h < n.nhosts; h++ {
+		n.hostUp[h].down = down
+		n.hostDown[h].down = down
+	}
+	for s := 0; s < n.cfg.Spines; s++ {
+		n.up[l][s].down = down
+		n.down[s][l].down = down
+	}
+}
+
+// NumLeaves reports the number of leaf switches.
+func (n *Network) NumLeaves() int { return n.nleaves }
+
+// startGE attaches a fresh Gilbert–Elliott process to L and schedules its
+// state transitions as engine events (exponentially distributed sojourns
+// drawn from the engine PRNG, so runs stay bit-reproducible).
+func (n *Network) startGE(L *link, bp BurstParams) {
+	g := &geState{lossGood: bp.LossGood, lossBad: bp.LossBad}
+	L.ge = g
+	var flip func()
+	schedule := func() {
+		mean := bp.MeanGood
+		if g.bad {
+			mean = bp.MeanBad
+		}
+		d := sim.Duration(n.e.Rand().ExpFloat64() * float64(mean))
+		n.e.Schedule(d, flip)
+	}
+	flip = func() {
+		if L.ge != g {
+			return // process was disabled or replaced; let it die
+		}
+		g.bad = !g.bad
+		schedule()
+	}
+	schedule()
+}
+
+// SetHostBurstLoss enables (or disables) correlated burst loss on host h's
+// access links, both directions.
+func (n *Network) SetHostBurstLoss(h NodeID, bp BurstParams, on bool) {
+	for _, L := range [2]*link{n.hostUp[h], n.hostDown[h]} {
+		if on {
+			n.startGE(L, bp)
+		} else {
+			L.ge = nil
+		}
+	}
+}
+
+// SetUplinkBurstLoss enables (or disables) correlated burst loss on the
+// leaf l <-> spine s uplink pair.
+func (n *Network) SetUplinkBurstLoss(l, s int, bp BurstParams, on bool) {
+	for _, L := range [2]*link{n.up[l][s], n.down[s][l]} {
+		if on {
+			n.startGE(L, bp)
+		} else {
+			L.ge = nil
+		}
+	}
+}
+
+// SetAllBurstLoss enables (or disables) correlated burst loss on every link
+// in the fabric. Each link runs an independent GE process.
+func (n *Network) SetAllBurstLoss(bp BurstParams, on bool) {
+	n.eachLink(func(L *link) {
+		if on {
+			n.startGE(L, bp)
+		} else {
+			L.ge = nil
+		}
+	})
+}
+
+// SetCorruptProb sets the per-packet probability that a delivered packet's
+// bits are flipped in flight. Corrupted packets are still delivered; the
+// receiving NI's CRC check discards them (and counts them), and the
+// transport's retransmission masks the loss end to end.
+func (n *Network) SetCorruptProb(p float64) { n.corrupt = p }
+
+// eachLink visits every link in a fixed, deterministic order.
+func (n *Network) eachLink(fn func(*link)) {
+	for h := 0; h < n.nhosts; h++ {
+		fn(n.hostUp[h])
+	}
+	for h := 0; h < n.nhosts; h++ {
+		fn(n.hostDown[h])
+	}
+	for l := 0; l < n.nleaves; l++ {
+		for s := 0; s < n.cfg.Spines; s++ {
+			fn(n.up[l][s])
+		}
+	}
+	for s := 0; s < n.cfg.Spines; s++ {
+		for l := 0; l < n.nleaves; l++ {
+			fn(n.down[s][l])
+		}
+	}
+}
+
+// PerLinkCounters returns every link's traffic totals in a fixed order
+// (host uplinks, host downlinks, leaf->spine, spine->leaf).
+func (n *Network) PerLinkCounters() []LinkCounters {
+	var out []LinkCounters
+	n.eachLink(func(L *link) {
+		out = append(out, LinkCounters{Name: L.name, Sent: L.sent, Delivered: L.delivered, Dropped: L.dropped})
+	})
+	return out
+}
+
+// LinkStats renders the per-link counters, one line per link. With lossyOnly
+// it includes only links that dropped at least one packet — the view fault
+// experiments use to localize where loss happened.
+func (n *Network) LinkStats(lossyOnly bool) string {
+	var b strings.Builder
+	n.eachLink(func(L *link) {
+		if lossyOnly && L.dropped == 0 {
+			return
+		}
+		if L.sent == 0 && L.dropped == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%-16s sent=%-9d delivered=%-9d dropped=%d\n",
+			L.name, L.sent, L.delivered, L.dropped)
+	})
+	return b.String()
 }

@@ -14,6 +14,7 @@ package nic
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"virtnet/internal/netsim"
@@ -142,6 +143,23 @@ type NIC struct {
 	// messages (§4.3: a variant of logical clocks resolves the ordering of
 	// events each agent initiates in the other).
 	clock uint64
+
+	// staging is the send descriptor popped from its queue but not yet
+	// bound to a channel (mid-DMA into NI memory). A firmware reboot must
+	// requeue it or it would vanish.
+	staging *SendDesc
+	// curCmd is the driver command being executed by the dispatch loop. The
+	// command queue lives in host memory, so a firmware reboot re-reads an
+	// interrupted command rather than losing it.
+	curCmd *DriverCmd
+
+	// rebootUntil marks the end of a firmware reboot outage: packets
+	// arriving before it find the interface dark and die on the wire.
+	rebootUntil sim.Time
+	// incarnation distinguishes firmware lifetimes so a stale reboot-respawn
+	// event cannot start a second dispatch loop after a crash or restart.
+	incarnation uint64
+	crashed     bool
 
 	stopped bool
 
@@ -286,7 +304,20 @@ func (n *NIC) DumpEndpoints() string {
 // fromNetwork is the netsim delivery callback (the network receive DMA
 // engine depositing a packet into NI memory).
 func (n *NIC) fromNetwork(p *netsim.Packet) {
+	if n.crashed || n.e.Now() < n.rebootUntil {
+		// The interface is dark (crashed host or rebooting firmware):
+		// arrivals die here and the senders' transport masks the loss.
+		n.C.Inc("rx.dark_drop")
+		return
+	}
 	pkt := p.Payload.(*wirePkt)
+	if p.Corrupt {
+		// The CRC computed over the DMA'd packet fails. A corrupted header
+		// cannot be trusted to NACK, so the packet is discarded silently and
+		// the sender's retransmission recovers (§5.1).
+		n.C.Inc("rx.crc_drop")
+		return
+	}
 	if pkt.Kind != pktData {
 		n.inboundCtl = append(n.inboundCtl, pkt)
 		n.wake()
@@ -348,7 +379,9 @@ func (n *NIC) loop(p *sim.Proc) {
 		if len(n.cmds) > 0 {
 			cmd := n.cmds[0]
 			n.cmds = n.cmds[1:]
+			n.curCmd = cmd
 			n.handleCmd(p, cmd)
+			n.curCmd = nil
 			did = true
 		}
 		if n.serveEndpoints(p) {
@@ -440,6 +473,7 @@ func (n *NIC) advanceWRR() {
 // sendOne transmits the head descriptor of queue q on a free channel.
 func (n *NIC) sendOne(p *sim.Proc, ep *EndpointImage, q *ring[*SendDesc]) {
 	d, _ := q.Pop()
+	n.staging = d
 	ch := n.freeChannel(d.DstNI)
 	ep.LastActive = n.e.Now()
 
@@ -476,6 +510,7 @@ func (n *NIC) sendOne(p *sim.Proc, ep *EndpointImage, q *ring[*SendDesc]) {
 	ch.retries = 0
 	ch.backoff = n.cfg.RetransBase
 	ep.inflight++
+	n.staging = nil
 	if n.cfg.PiggybackAcks {
 		pkt.Piggy = n.takeAcks(d.DstNI, 4)
 	}
@@ -581,8 +616,10 @@ func (n *NIC) resolveChannel(ch *channel) {
 	if ep, ok := n.eps[pkt.desc.SrcEP]; ok {
 		ep.inflight--
 		if ep.State == EPQuiescing && ep.inflight == 0 && ep.unloadWait != nil {
+			// unloadWait stays set until completeUnload finishes, so a
+			// firmware reboot that wipes the deferred-work queue can requeue
+			// the completion (completeUnload is idempotent under that guard).
 			cmd := ep.unloadWait
-			ep.unloadWait = nil
 			n.work = append(n.work, func(p *sim.Proc) { n.completeUnload(p, cmd) })
 			n.wake()
 		}
@@ -920,11 +957,11 @@ func (n *NIC) handleUnload(p *sim.Proc, cmd *DriverCmd) {
 		}
 		return
 	}
+	ep.unloadWait = cmd
 	if ep.inflight > 0 {
 		// Transient state: stop new sends, keep retransmitting in-flight
 		// packets until all copies are accounted for (§5.3).
 		ep.State = EPQuiescing
-		ep.unloadWait = cmd
 		n.C.Inc("drv.quiesce")
 		return
 	}
@@ -933,7 +970,14 @@ func (n *NIC) handleUnload(p *sim.Proc, cmd *DriverCmd) {
 
 func (n *NIC) completeUnload(p *sim.Proc, cmd *DriverCmd) {
 	ep := cmd.EP
+	if ep.unloadWait != cmd {
+		return // duplicate completion (reboot-recovery requeue)
+	}
 	p.Sleep(n.cfg.DMASetup + n.dmaTime(n.cfg.FrameBytes, n.cfg.SBusWriteBps))
+	if ep.unloadWait != cmd {
+		return
+	}
+	ep.unloadWait = nil
 	if ep.Frame >= 0 {
 		n.frames[ep.Frame] = nil
 	}
@@ -950,3 +994,169 @@ func (n *NIC) completeUnload(p *sim.Proc, cmd *DriverCmd) {
 	}
 	n.wake()
 }
+
+// ---- Fault injection: firmware reboot and host crash ----
+
+// respawn restarts the dispatch loop after d of outage, unless the firmware
+// incarnation changed in the meantime (a crash, restart, or second reboot).
+func (n *NIC) respawn(d sim.Duration) {
+	gen := n.incarnation
+	n.e.Schedule(d, func() {
+		if gen != n.incarnation || n.crashed || n.stopped {
+			return
+		}
+		n.proc = n.e.Spawn(fmt.Sprintf("nic%d", n.id), n.loop)
+	})
+}
+
+// sortedChanDsts returns the peers with channel state in a fixed order, so
+// fault recovery is deterministic regardless of map iteration order.
+func (n *NIC) sortedChanDsts() []netsim.NodeID {
+	dsts := make([]int, 0, len(n.chans))
+	for dst := range n.chans {
+		dsts = append(dsts, int(dst))
+	}
+	sort.Ints(dsts)
+	out := make([]netsim.NodeID, len(dsts))
+	for i, d := range dsts {
+		out[i] = netsim.NodeID(d)
+	}
+	return out
+}
+
+// Reboot models an NI firmware reboot of the given outage: the dispatch loop
+// dies mid-instruction and NI SRAM is lost (staging pools, receive windows,
+// channel bindings), while host-memory state (the registered endpoint table,
+// send queues, the driver command queue) survives and is re-read when the
+// firmware comes back. Every in-flight message is unbound and requeued, and
+// the epoch changes, so the first packet of the new incarnation makes each
+// receiver reset its per-channel sequence window — the channel-reset
+// handshake of §5.1. End-to-end MsgID suppression keeps user-level delivery
+// exactly-once across the reset. Must be called from event context or from a
+// proc other than this NI's dispatch loop.
+func (n *NIC) Reboot(outage sim.Duration) {
+	if n.crashed || n.stopped {
+		return
+	}
+	n.C.Inc("nic.reboot")
+	n.incarnation++
+	n.rebootUntil = n.e.Now().Add(outage)
+	n.proc.Kill()
+	// NI SRAM is gone: arrival staging, deferred work, receive-side
+	// sequence windows, pending piggyback acks, RTT estimates.
+	n.inbound, n.inboundCtl, n.work = nil, nil, nil
+	n.rx = make(map[chanKey]*rxState)
+	n.pendingAcks = nil
+	n.rtt = nil
+	// The driver command queue lives in host memory; an interrupted command
+	// is re-read from the front after the reboot.
+	if cmd := n.curCmd; cmd != nil {
+		n.curCmd = nil
+		n.cmds = append([]*DriverCmd{cmd}, n.cmds...)
+	}
+	// A descriptor staged mid-DMA goes back to the head of its queue.
+	if d := n.staging; d != nil {
+		n.staging = nil
+		d.FirstSend = 0
+		if !n.requeue(d) {
+			n.returnToSender(d, NackNone)
+		}
+	}
+	// Unbind every in-flight message and requeue it for a fresh channel
+	// under the new epoch. The outage is local, not the destination's
+	// failure, so the unreachability clock restarts.
+	for _, dst := range n.sortedChanDsts() {
+		for _, ch := range n.chans[dst] {
+			if ch.timer != nil {
+				ch.timer.Stop()
+				ch.timer = nil
+			}
+			if ch.inflight != nil {
+				d := ch.inflight.desc
+				n.resolveChannel(ch)
+				d.FirstSend = 0
+				if !n.requeue(d) {
+					n.returnToSender(d, NackNone)
+				}
+			}
+			ch.seq, ch.retries, ch.backoff = 0, 0, 0
+		}
+	}
+	// Quiesces whose deferred completion was wiped with the work queue (or
+	// completed just now while unbinding) are requeued; completeUnload's
+	// unloadWait guard makes duplicates harmless.
+	epIDs := make([]int, 0, len(n.eps))
+	for id := range n.eps {
+		epIDs = append(epIDs, id)
+	}
+	sort.Ints(epIDs)
+	for _, id := range epIDs {
+		ep := n.eps[id]
+		if ep.State == EPQuiescing && ep.inflight == 0 && ep.unloadWait != nil {
+			cmd := ep.unloadWait
+			n.work = append(n.work, func(p *sim.Proc) { n.completeUnload(p, cmd) })
+		}
+	}
+	n.epoch = uint32(n.e.Rand().Int63()) | 1
+	n.respawn(outage)
+}
+
+// Crash models whole-host failure: the NI goes dark instantly, dropping all
+// resident endpoints and every packet of in-flight DMA. Nothing is preserved
+// — Restart brings the interface back empty under a new epoch, and the host
+// side must recreate and re-register its endpoints. The host's access link
+// is marked down so in-fabric packets toward the dead host drop at the leaf
+// switch; senders see silence, exhaust their retries, and return messages to
+// sender (§3.2). Must be called from event context or from a proc other than
+// this NI's dispatch loop.
+func (n *NIC) Crash() {
+	if n.crashed {
+		return
+	}
+	n.crashed = true
+	n.incarnation++
+	n.C.Inc("nic.crash")
+	n.proc.Kill()
+	n.net.SetHostLinkDown(n.id, true)
+	// Stop channel timers so no stale retransmission closure survives into
+	// a later incarnation.
+	for _, dst := range n.sortedChanDsts() {
+		for _, ch := range n.chans[dst] {
+			if ch.timer != nil {
+				ch.timer.Stop()
+				ch.timer = nil
+			}
+			ch.inflight = nil
+		}
+	}
+	n.inbound, n.inboundCtl, n.work, n.cmds = nil, nil, nil, nil
+	n.curCmd, n.staging = nil, nil
+	n.chans = make(map[netsim.NodeID][]*channel)
+	n.rx = make(map[chanKey]*rxState)
+	n.eps = make(map[int]*EndpointImage)
+	n.frames = make([]*EndpointImage, n.cfg.Frames)
+	n.requested = make(map[int]bool)
+	n.moved = make(map[int]bool)
+	n.pendingAcks = nil
+	n.rtt = nil
+	n.wrr = 0
+	n.loiterCount = 0
+}
+
+// Restart powers the crashed NI back up: empty frames, a fresh epoch, and
+// the access link restored.
+func (n *NIC) Restart() {
+	if !n.crashed {
+		return
+	}
+	n.crashed = false
+	n.incarnation++
+	n.rebootUntil = 0
+	n.epoch = uint32(n.e.Rand().Int63()) | 1
+	n.net.SetHostLinkDown(n.id, false)
+	n.proc = n.e.Spawn(fmt.Sprintf("nic%d", n.id), n.loop)
+	n.C.Inc("nic.restart")
+}
+
+// Crashed reports whether the NI is currently crashed.
+func (n *NIC) Crashed() bool { return n.crashed }

@@ -32,6 +32,12 @@ var (
 	ErrTimeout     = errors.New("rpc: call timed out")
 )
 
+// maxReissues bounds how often a returned fragment is re-sent. Each re-issue
+// already rides the NI's full retry schedule plus its return-to-sender delay,
+// so a handful of rounds spans link flaps and firmware reboots; a peer still
+// unreachable after that is treated as down rather than retried forever.
+const maxReissues = 3
+
 // Proc is a registered procedure: input bytes to output bytes.
 type Proc func(p *sim.Proc, args []byte) ([]byte, error)
 
@@ -43,6 +49,9 @@ type Server struct {
 	procs  map[int]Proc
 
 	calls map[callKey]*callBuf
+	// reissues counts return-to-sender re-sends per outstanding call's
+	// results, so an unreachable client is dropped after maxReissues rounds.
+	reissues map[uint64]int
 
 	// Served counts completed calls.
 	Served int64
@@ -70,14 +79,25 @@ func NewServer(node *hostos.Node, key core.Key) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{node: node, bundle: b, ep: ep, procs: make(map[int]Proc), calls: make(map[callKey]*callBuf)}
+	s := &Server{node: node, bundle: b, ep: ep, procs: make(map[int]Proc),
+		calls: make(map[callKey]*callBuf), reissues: make(map[uint64]int)}
 	ep.SetHandler(hCall, s.onCall)
+	// Result-fragment acknowledgments retire the reissue budget.
+	ep.SetHandler(hCallOK, func(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte) {
+		delete(s.reissues, args[0])
+	})
 	// Result fragments bounced by a transient transport condition are
-	// re-issued; permanently undeliverable ones (client gone) are dropped.
+	// re-issued a bounded number of times; permanently undeliverable ones
+	// (client gone, key revoked) and persistent bounces are dropped — the
+	// client owns call recovery, the server must not hang on a dead peer.
 	ep.SetReturnHandler(func(p *sim.Proc, reason nic.NackReason, dstIdx, h int, args [4]uint64, payload []byte) {
-		if dstIdx < 0 || reason == nic.NackNoEndpoint || reason == nic.NackBadKey {
+		callID := args[0]
+		if dstIdx < 0 || reason == nic.NackNoEndpoint || reason == nic.NackBadKey ||
+			s.reissues[callID] >= maxReissues {
+			delete(s.reissues, callID)
 			return
 		}
+		s.reissues[callID]++
 		if len(payload) == 0 {
 			ep.Request(p, dstIdx, h, args)
 			return
@@ -192,9 +212,10 @@ type Client struct {
 	bundle *core.Bundle
 	ep     *core.Endpoint
 
-	nextID  uint64
-	results map[uint64]*resultBuf
-	dead    bool // a call was returned undeliverable
+	nextID   uint64
+	results  map[uint64]*resultBuf
+	reissues map[uint64]int
+	dead     bool // the server endpoint itself is gone (permanent nack)
 }
 
 type resultBuf struct {
@@ -203,6 +224,7 @@ type resultBuf struct {
 	total  int
 	status uint64
 	done   bool
+	failed bool // call fragments kept bouncing: server unreachable
 }
 
 // NewClient builds a client on node bound to the server's endpoint.
@@ -215,17 +237,31 @@ func NewClient(node *hostos.Node, server core.EndpointName, serverKey core.Key) 
 	if err := ep.Map(0, server, serverKey); err != nil {
 		return nil, err
 	}
-	c := &Client{node: node, bundle: b, ep: ep, results: make(map[uint64]*resultBuf)}
+	c := &Client{node: node, bundle: b, ep: ep,
+		results: make(map[uint64]*resultBuf), reissues: make(map[uint64]int)}
 	ep.SetHandler(hResult, c.onResult)
-	ep.SetHandler(hCallOK, func(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte) {})
-	// Re-issue call fragments bounced by transient transport conditions;
-	// only a permanent failure (no such endpoint / bad key) marks the
-	// server unreachable.
+	ep.SetHandler(hCallOK, func(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte) {
+		delete(c.reissues, args[0])
+	})
+	// Re-issue call fragments bounced by transient transport conditions, a
+	// bounded number of times per call. A permanent failure (no such
+	// endpoint / bad key) marks the whole client dead; an exhausted reissue
+	// budget fails just that call with ErrUnreachable — a typed error the
+	// caller can retry against a replica, instead of a hang.
 	ep.SetReturnHandler(func(p *sim.Proc, reason nic.NackReason, dstIdx, h int, args [4]uint64, payload []byte) {
+		callID := args[0]
 		if dstIdx < 0 || reason == nic.NackNoEndpoint || reason == nic.NackBadKey {
 			c.dead = true
 			return
 		}
+		if c.reissues[callID] >= maxReissues {
+			delete(c.reissues, callID)
+			if rb, ok := c.results[callID]; ok {
+				rb.failed = true
+			}
+			return
+		}
+		c.reissues[callID]++
 		if len(payload) == 0 {
 			ep.Request(p, dstIdx, h, args)
 			return
@@ -269,6 +305,7 @@ func (c *Client) Call(p *sim.Proc, proc int, args []byte, timeout sim.Duration) 
 	rb := &resultBuf{}
 	c.results[id] = rb
 	defer delete(c.results, id)
+	defer delete(c.reissues, id)
 
 	mtu := c.node.NIC.Config().MTU
 	meta := uint64(proc)<<40 | uint64(c.ep.Key())&(1<<40-1)
@@ -294,7 +331,7 @@ func (c *Client) Call(p *sim.Proc, proc int, args []byte, timeout sim.Duration) 
 		deadline = p.Now().Add(timeout)
 	}
 	for !rb.done {
-		if c.dead {
+		if c.dead || rb.failed {
 			return nil, ErrUnreachable
 		}
 		if deadline != 0 && p.Now() >= deadline {
@@ -355,11 +392,25 @@ func (c *Client) Go(p *sim.Proc, proc int, args []byte) (*Pending, error) {
 
 // Wait blocks until the pending call completes and returns its result.
 func (pc *Pending) Wait(p *sim.Proc) ([]byte, error) {
+	return pc.WaitTimeout(p, 0)
+}
+
+// WaitTimeout is Wait with a deadline (0 = none). On ErrTimeout the call is
+// abandoned: a result arriving later is dropped as stale.
+func (pc *Pending) WaitTimeout(p *sim.Proc, timeout sim.Duration) ([]byte, error) {
 	c := pc.c
 	defer delete(c.results, pc.id)
+	defer delete(c.reissues, pc.id)
+	deadline := sim.Time(0)
+	if timeout > 0 {
+		deadline = p.Now().Add(timeout)
+	}
 	for !pc.rb.done {
-		if c.dead {
+		if c.dead || pc.rb.failed {
 			return nil, ErrUnreachable
+		}
+		if deadline != 0 && p.Now() >= deadline {
+			return nil, ErrTimeout
 		}
 		if c.ep.Poll(p) == 0 {
 			p.Sleep(5 * sim.Microsecond)

@@ -49,6 +49,31 @@ func runBody(p *Proc, fn func(p *Proc)) {
 	fn(p)
 }
 
+// Kill terminates a parked proc immediately: the next time it would resume
+// it unwinds instead, running no further simulated work (crash semantics —
+// no cleanup executes in the victim). Any Cond registration is removed so
+// signals are not wasted on the corpse. Killing the currently running proc
+// is not allowed; crashes are driven from event context or from another
+// proc, where the victim is parked.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	if p.e.cur == p {
+		panic("sim: Kill of the running proc")
+	}
+	if p.waiting != nil {
+		p.waiting.remove(p)
+		p.waiting = nil
+	}
+	p.killed = true
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// Killed reports whether the proc was terminated by Kill or Shutdown.
+func (p *Proc) Killed() bool { return p.killed }
+
 // Engine returns the engine this proc belongs to.
 func (p *Proc) Engine() *Engine { return p.e }
 

@@ -33,9 +33,16 @@ const (
 
 // Errors.
 var (
-	ErrClosed  = errors.New("sockets: connection closed")
-	ErrRefused = errors.New("sockets: connection refused")
+	ErrClosed          = errors.New("sockets: connection closed")
+	ErrRefused         = errors.New("sockets: connection refused")
+	ErrPeerUnreachable = errors.New("sockets: peer unreachable")
 )
+
+// maxSegReissues bounds how often a returned stream segment is re-sent
+// before the connection is declared broken. Each re-issue already spans the
+// NI's full retry schedule plus the return-to-sender delay, so this covers
+// link flaps and firmware reboots; a peer dark beyond that is down.
+const maxSegReissues = 3
 
 // segment size: one MTU-sized bulk message minus headroom.
 const segSize = 8192
@@ -126,6 +133,12 @@ type Conn struct {
 	peerClosed bool
 	closed     bool
 	finAcked   bool
+
+	// err latches the first transport-level failure (peer unreachable);
+	// every blocking operation surfaces it instead of spinning forever.
+	err error
+	// reissues counts return-to-sender re-sends per unacked segment.
+	reissues map[uint64]int
 }
 
 func newConn(node *hostos.Node, key core.Key) (*Conn, error) {
@@ -134,13 +147,46 @@ func newConn(node *hostos.Node, key core.Key) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Conn{node: node, bundle: b, ep: ep, oos: make(map[uint64][]byte)}
+	c := &Conn{node: node, bundle: b, ep: ep,
+		oos: make(map[uint64][]byte), reissues: make(map[uint64]int)}
 	ep.SetHandler(hData, c.onData)
 	ep.SetHandler(hDataAck, c.onDataAck)
 	ep.SetHandler(hFin, c.onFin)
 	ep.SetHandler(hFinAck, func(p *sim.Proc, tok *core.Token, a [4]uint64, _ []byte) { c.finAcked = true })
+	// Segments the fabric hands back (§3.2) are re-sent a bounded number of
+	// times; beyond that — or on a permanent nack — the stream is broken and
+	// the caller gets ErrPeerUnreachable rather than a hang.
+	ep.SetReturnHandler(func(p *sim.Proc, reason nic.NackReason, dstIdx, h int, args [4]uint64, payload []byte) {
+		switch h {
+		case hData:
+			seq := args[0]
+			if dstIdx >= 0 && reason != nic.NackNoEndpoint && reason != nic.NackBadKey &&
+				c.reissues[seq] < maxSegReissues {
+				c.reissues[seq]++
+				_ = c.ep.RequestBulk(p, dstIdx, hData, payload, args)
+				return
+			}
+			c.fail()
+		case hFin, hFinAck:
+			// The peer is gone; an orderly shutdown is moot. Unblock Close.
+			c.finAcked = true
+			c.fail()
+		default:
+			c.fail()
+		}
+	})
 	return c, nil
 }
+
+// fail latches the broken-stream error.
+func (c *Conn) fail() {
+	if c.err == nil {
+		c.err = ErrPeerUnreachable
+	}
+}
+
+// Err returns the latched transport failure, if any.
+func (c *Conn) Err() error { return c.err }
 
 func (c *Conn) attachPeer(name core.EndpointName, key core.Key) error {
 	return c.ep.Map(0, name, key)
@@ -168,6 +214,7 @@ func (c *Conn) onDataAck(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte)
 	if args[0] >= c.acked {
 		c.acked = args[0] + 1
 	}
+	delete(c.reissues, args[0])
 }
 
 func (c *Conn) onFin(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte) {
@@ -181,6 +228,9 @@ func (c *Conn) Write(p *sim.Proc, data []byte) (int, error) {
 	if c.closed {
 		return 0, ErrClosed
 	}
+	if c.err != nil {
+		return 0, c.err
+	}
 	written := 0
 	for off := 0; off < len(data); off += segSize {
 		end := off + segSize
@@ -193,6 +243,9 @@ func (c *Conn) Write(p *sim.Proc, data []byte) (int, error) {
 			}
 			if c.closed {
 				return written, ErrClosed
+			}
+			if c.err != nil {
+				return written, c.err
 			}
 		}
 		seq := c.nextSseq
@@ -214,6 +267,9 @@ func (c *Conn) Read(p *sim.Proc, max int) ([]byte, error) {
 		}
 		if c.closed {
 			return nil, ErrClosed
+		}
+		if c.err != nil {
+			return nil, c.err
 		}
 		if c.ep.Poll(p) == 0 {
 			p.Sleep(5 * sim.Microsecond)
@@ -241,9 +297,10 @@ func (c *Conn) ReadFull(p *sim.Proc, n int) ([]byte, error) {
 	return out, nil
 }
 
-// Drain waits until every written byte has been acknowledged.
+// Drain waits until every written byte has been acknowledged or the stream
+// breaks (check Err for the latter).
 func (c *Conn) Drain(p *sim.Proc) {
-	for c.acked < c.nextSseq {
+	for c.acked < c.nextSseq && c.err == nil {
 		if c.ep.Poll(p) == 0 {
 			p.Sleep(5 * sim.Microsecond)
 		}
@@ -258,16 +315,19 @@ func (c *Conn) Close(p *sim.Proc) error {
 	}
 	c.Drain(p)
 	// Send FIN and wait for its acknowledgment before tearing the endpoint
-	// down, so the shutdown isn't lost in the endpoint free.
-	c.ep.Request(p, 0, hFin, [4]uint64{})
-	for !c.finAcked {
-		if c.ep.Poll(p) == 0 {
-			p.Sleep(5 * sim.Microsecond)
+	// down, so the shutdown isn't lost in the endpoint free. A broken stream
+	// skips the handshake: the peer cannot answer.
+	if c.err == nil {
+		c.ep.Request(p, 0, hFin, [4]uint64{})
+		for !c.finAcked && c.err == nil {
+			if c.ep.Poll(p) == 0 {
+				p.Sleep(5 * sim.Microsecond)
+			}
 		}
 	}
 	c.closed = true
 	c.bundle.Close(p)
-	return nil
+	return c.err
 }
 
 // Pending reports buffered receive bytes.

@@ -131,6 +131,12 @@ func (h *Hist) Quantile(q float64) sim.Duration {
 	}
 	h.sortSamples()
 	i := int(q * float64(len(h.samples)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.samples) {
+		i = len(h.samples) - 1
+	}
 	return h.samples[i]
 }
 
@@ -145,6 +151,18 @@ func (h *Hist) Mean() sim.Duration {
 // Min and Max return stream extremes (exact in reservoir mode).
 func (h *Hist) Min() sim.Duration { return h.min }
 func (h *Hist) Max() sim.Duration { return h.max }
+
+// Summary renders the histogram on one line: sample count, mean, median,
+// p99, and stream extremes. With no samples it says so instead of emitting
+// zero-division garbage — fault experiments legitimately produce empty
+// histograms (e.g. "latency of requests answered during the outage").
+func (h *Hist) Summary() string {
+	if h.n == 0 {
+		return "n=0 (no samples)"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v min=%v max=%v",
+		h.n, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.min, h.max)
+}
 
 // BimodalSplit splits samples around threshold and returns the fraction and
 // mean of each mode. The §6.4.1 analysis uses this to show that requests

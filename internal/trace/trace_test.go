@@ -253,3 +253,25 @@ func TestHistUnboundedStillExact(t *testing.T) {
 		t.Fatalf("quantiles broken: %v %v", h.Quantile(0), h.Quantile(1))
 	}
 }
+
+func TestSummaryZeroSafe(t *testing.T) {
+	h := NewHist()
+	if got := h.Summary(); got != "n=0 (no samples)" {
+		t.Fatalf("empty summary = %q", got)
+	}
+	for _, s := range []string{h.Summary(), h.Buckets(4)} {
+		if strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+			t.Fatalf("zero-sample rendering leaks garbage: %q", s)
+		}
+	}
+	h.Observe(10)
+	h.Observe(30)
+	got := h.Summary()
+	want := "n=2 mean=20ns p50=10ns p99=10ns min=10ns max=30ns"
+	if got != want {
+		t.Fatalf("summary = %q, want %q", got, want)
+	}
+	if h.Quantile(-0.5) != 10 || h.Quantile(2.0) != 30 {
+		t.Fatalf("out-of-range quantiles not clamped: %v %v", h.Quantile(-0.5), h.Quantile(2.0))
+	}
+}
