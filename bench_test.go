@@ -37,6 +37,7 @@ func gamPair(seed int64) (*sim.Engine, *gam.World, logp.Station, logp.Station) {
 
 // Fig. 3: LogP parameters for virtual networks (AM).
 func BenchmarkFig3LogPAM(b *testing.B) {
+	b.ReportAllocs()
 	var r logp.Result
 	for i := 0; i < b.N; i++ {
 		c, cl, sv := amPair(int64(i + 1))
@@ -50,6 +51,7 @@ func BenchmarkFig3LogPAM(b *testing.B) {
 
 // Fig. 3: LogP parameters for the GAM baseline.
 func BenchmarkFig3LogPGAM(b *testing.B) {
+	b.ReportAllocs()
 	var r logp.Result
 	for i := 0; i < b.N; i++ {
 		e, w, cl, sv := gamPair(int64(i + 1))
@@ -64,6 +66,7 @@ func BenchmarkFig3LogPGAM(b *testing.B) {
 
 // Fig. 4: 8 KB transfer bandwidth, AM (paper: 43.9 MB/s).
 func BenchmarkFig4BandwidthAM(b *testing.B) {
+	b.ReportAllocs()
 	var mbps float64
 	for i := 0; i < b.N; i++ {
 		c, cl, sv := amPair(int64(i + 1))
@@ -75,6 +78,7 @@ func BenchmarkFig4BandwidthAM(b *testing.B) {
 
 // Fig. 4: 8 KB transfer bandwidth, GAM (paper: 38 MB/s).
 func BenchmarkFig4BandwidthGAM(b *testing.B) {
+	b.ReportAllocs()
 	var mbps float64
 	for i := 0; i < b.N; i++ {
 		e, w, cl, sv := gamPair(int64(i + 1))
@@ -87,6 +91,7 @@ func BenchmarkFig4BandwidthGAM(b *testing.B) {
 
 // Fig. 5: NPB CG speedup at 8 processes on the simulated NOW.
 func BenchmarkFig5NPBCGonNOW(b *testing.B) {
+	b.ReportAllocs()
 	k, _ := npb.KernelByName("CG")
 	k.Iters = 3
 	k.Flops = 40e6
@@ -105,6 +110,7 @@ func BenchmarkFig5NPBCGonNOW(b *testing.B) {
 
 // Fig. 5: FT on the analytic SP-2 and Origin comparators.
 func BenchmarkFig5NPBFTComparators(b *testing.B) {
+	b.ReportAllocs()
 	ft, _ := npb.KernelByName("FT")
 	var sp2, ori float64
 	for i := 0; i < b.N; i++ {
@@ -130,12 +136,14 @@ func csRun(b *testing.B, cfg bench.CSConfig) bench.CSResult {
 
 // Fig. 6: small-message contention, shared-endpoint server (paper peak ~78K).
 func BenchmarkFig6SmallOneVN(b *testing.B) {
+	b.ReportAllocs()
 	r := csRun(b, bench.CSConfig{Clients: 4, Mode: bench.OneVN, Frames: 8})
 	b.ReportMetric(r.AggregateMsgs, "msgs/s")
 }
 
 // Fig. 6: single-threaded server, 8 frames, overcommitted.
 func BenchmarkFig6SmallST8(b *testing.B) {
+	b.ReportAllocs()
 	r := csRun(b, bench.CSConfig{Clients: 12, Mode: bench.ST, Frames: 8})
 	b.ReportMetric(r.AggregateMsgs, "msgs/s")
 	b.ReportMetric(r.RemapsPerSec, "remaps/s")
@@ -143,12 +151,14 @@ func BenchmarkFig6SmallST8(b *testing.B) {
 
 // Fig. 6: multi-threaded server, 96 frames.
 func BenchmarkFig6SmallMT96(b *testing.B) {
+	b.ReportAllocs()
 	r := csRun(b, bench.CSConfig{Clients: 12, Mode: bench.MT, Frames: 96})
 	b.ReportMetric(r.AggregateMsgs, "msgs/s")
 }
 
 // Fig. 7: bulk contention, shared endpoint (paper: ~42.8 MB/s aggregate).
 func BenchmarkFig7BulkOneVN(b *testing.B) {
+	b.ReportAllocs()
 	r := csRun(b, bench.CSConfig{Clients: 4, Mode: bench.OneVN, Frames: 8, MsgBytes: 8192})
 	b.ReportMetric(r.AggregateMBps, "MB/s")
 }
@@ -156,12 +166,14 @@ func BenchmarkFig7BulkOneVN(b *testing.B) {
 // Fig. 7: bulk contention, per-client endpoints with 96 frames (paper: beats
 // OneVN because one-to-one connections avoid overruns).
 func BenchmarkFig7BulkST96(b *testing.B) {
+	b.ReportAllocs()
 	r := csRun(b, bench.CSConfig{Clients: 12, Mode: bench.ST, Frames: 96, MsgBytes: 8192})
 	b.ReportMetric(r.AggregateMBps, "MB/s")
 }
 
 // §6.2: Linpack (paper: 10.14 GF on 100 nodes; scaled here).
 func BenchmarkE62Linpack(b *testing.B) {
+	b.ReportAllocs()
 	var r bench.LinpackResult
 	for i := 0; i < b.N; i++ {
 		var ok bool
@@ -177,6 +189,7 @@ func BenchmarkE62Linpack(b *testing.B) {
 
 // §6.3: time-shared parallel applications (paper: within 15% of sequence).
 func BenchmarkE63Timeshare(b *testing.B) {
+	b.ReportAllocs()
 	var r bench.TimeshareResult
 	for i := 0; i < b.N; i++ {
 		var ok bool
@@ -192,6 +205,7 @@ func BenchmarkE63Timeshare(b *testing.B) {
 
 // §6.4.1: 8:1 overcommit robustness (paper: 50-75% of peak, 200-300 remaps/s).
 func BenchmarkE64Overcommit(b *testing.B) {
+	b.ReportAllocs()
 	r := csRun(b, bench.CSConfig{Clients: 16, Mode: bench.MT, Frames: 8})
 	b.ReportMetric(r.AggregateMsgs, "msgs/s")
 	b.ReportMetric(r.RemapsPerSec, "remaps/s")
@@ -199,12 +213,14 @@ func BenchmarkE64Overcommit(b *testing.B) {
 
 // Ablation: remove the on-host r/w state (the paper's original design).
 func BenchmarkAblationNoHostRW(b *testing.B) {
+	b.ReportAllocs()
 	r := csRun(b, bench.CSConfig{Clients: 12, Mode: bench.ST, Frames: 8, DisableHostRW: true})
 	b.ReportMetric(r.AggregateMsgs, "msgs/s")
 }
 
 // Ablation: LRU frame replacement instead of the paper's random policy.
 func BenchmarkAblationReplacementLRU(b *testing.B) {
+	b.ReportAllocs()
 	r := csRun(b, bench.CSConfig{Clients: 12, Mode: bench.ST, Frames: 8, Policy: hostos.ReplaceLRU})
 	b.ReportMetric(r.AggregateMsgs, "msgs/s")
 	b.ReportMetric(r.RemapsPerSec, "remaps/s")
@@ -212,12 +228,14 @@ func BenchmarkAblationReplacementLRU(b *testing.B) {
 
 // Ablation: a single logical channel per NI pair (no latency masking).
 func BenchmarkAblationChannels1(b *testing.B) {
+	b.ReportAllocs()
 	r := csRun(b, bench.CSConfig{Clients: 4, Mode: bench.OneVN, Frames: 8, Channels: 1})
 	b.ReportMetric(r.AggregateMsgs, "msgs/s")
 }
 
 // Ablation: disable the WRR loiter bound.
 func BenchmarkAblationLoiterOff(b *testing.B) {
+	b.ReportAllocs()
 	r := csRun(b, bench.CSConfig{Clients: 8, Mode: bench.ST, Frames: 96, NoLoiter: true})
 	b.ReportMetric(r.AggregateMsgs, "msgs/s")
 }
@@ -225,6 +243,7 @@ func BenchmarkAblationLoiterOff(b *testing.B) {
 // §8 extension: adaptive RTT-based retransmission timers vs the fixed base,
 // under a deliberately mis-set short base timeout.
 func BenchmarkExtensionAdaptiveTimeout(b *testing.B) {
+	b.ReportAllocs()
 	run := func(adaptive bool) float64 {
 		ccfg := hostos.DefaultClusterConfig()
 		ccfg.NIC.RetransBase = 500 * sim.Microsecond // below bulk staging delays
@@ -252,6 +271,7 @@ func BenchmarkExtensionAdaptiveTimeout(b *testing.B) {
 // §8 extension: piggybacked acknowledgments vs standalone ack packets on
 // bidirectional small-message traffic.
 func BenchmarkExtensionPiggybackAcks(b *testing.B) {
+	b.ReportAllocs()
 	run := func(piggy bool) float64 {
 		ccfg := hostos.DefaultClusterConfig()
 		ccfg.NIC.PiggybackAcks = piggy
@@ -278,6 +298,7 @@ func BenchmarkExtensionPiggybackAcks(b *testing.B) {
 // §7 comparison: VIA's per-pair provisioning vs endpoint pooling under the
 // NI's 8-frame constraint.
 func BenchmarkVIAvsVNResourcePressure(b *testing.B) {
+	b.ReportAllocs()
 	var r bench.VIAPressureResult
 	for i := 0; i < b.N; i++ {
 		var ok bool

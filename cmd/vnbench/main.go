@@ -13,15 +13,21 @@
 //	vnbench ablations         §6.4.1  design-choice ablations
 //	vnbench migrate           ext.    live endpoint migration: blackout, loss=0
 //	vnbench faults            ext.    fault injection + automated recovery
+//	vnbench simperf           ext.    event-engine self-benchmark
 //	vnbench all               everything above
 //
-// Use -quick for smaller client sweeps and shorter windows.
+// Use -quick for smaller client sweeps and shorter windows. The golden
+// results_*.txt files capture stdout only; simperf's machine-dependent
+// wall-clock section goes to stderr. -cpuprofile/-memprofile write pprof
+// profiles for diagnosing simulator-performance regressions.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"virtnet/internal/bench"
@@ -37,12 +43,40 @@ import (
 )
 
 var (
-	quick = flag.Bool("quick", false, "smaller sweeps and shorter windows")
-	seed  = flag.Int64("seed", 1, "simulation seed")
+	quick      = flag.Bool("quick", false, "smaller sweeps and shorter windows")
+	seed       = flag.Int64("seed", 1, "simulation seed")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 func main() {
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 	cmd := "all"
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
@@ -60,11 +94,12 @@ func main() {
 		"ablations":        runAblations,
 		"migrate":          runMigrate,
 		"faults":           runFaults,
+		"simperf":          runSimPerf,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"logp", "bandwidth", "npb", "contention-small",
 			"contention-bulk", "linpack", "timeshare", "overcommit", "ablations",
-			"sensitivity", "migrate", "faults"} {
+			"sensitivity", "migrate", "faults", "simperf"} {
 			cmds[name]()
 		}
 		return
@@ -574,6 +609,36 @@ func runMigrate() {
 	fmt.Printf("directory: %d publishes, %d resolves; name version now %d\n",
 		svc.Dir.C.Get("dir.publish"), svc.Dir.C.Get("dir.resolve"), svc.Dir.Version(epID))
 	fmt.Printf("worst client-observed service gap: %v (covers blackout + redirect retries)\n", maxGap)
+}
+
+// runSimPerf is the event-engine self-benchmark (tentpole of the engine
+// overhaul): 8 client/server pairs on a 16-node cluster stream small requests
+// to completion. Virtual-time metrics (deterministic) go to stdout and are
+// captured in results_simperf.txt; wall-clock throughput and allocation rates
+// are machine-dependent and printed to stderr only.
+func runSimPerf() {
+	header("simperf — event-engine self-benchmark (16-node stream)")
+	cfg := bench.SimPerfConfig{Pairs: 8, Msgs: 10000, Seed: *seed}
+	if *quick {
+		cfg.Msgs = 2000
+	}
+	res := bench.RunSimPerf(cfg)
+	msgs := float64(res.Replied)
+	fmt.Printf("pairs=%d nodes=%d msgs/client=%d\n", cfg.Pairs, 2*cfg.Pairs, cfg.Msgs)
+	fmt.Printf("virtual: replied=%d time=%v rate=%.0f msgs/s\n",
+		res.Replied, res.Virtual, res.MsgsPerSec)
+	s := res.Engine
+	hitRate := 0.0
+	if s.PoolHits+s.PoolMisses > 0 {
+		hitRate = float64(s.PoolHits) / float64(s.PoolHits+s.PoolMisses)
+	}
+	fmt.Printf("events: fired=%d (%.1f/msg), max pending=%d, pool hit rate=%.3f\n",
+		s.Fired, float64(s.Fired)/msgs, s.MaxPending, hitRate)
+	ev := float64(res.EventsRun)
+	fmt.Fprintf(os.Stderr,
+		"wall-clock (machine-dependent, not golden): %.3fs, %.2fM events/s, %.0f ns/event, %.1f allocs/msg\n",
+		res.Wall.Seconds(), ev/res.Wall.Seconds()/1e6,
+		float64(res.Wall.Nanoseconds())/ev, float64(res.Mallocs)/msgs)
 }
 
 // runSensitivity reproduces the §6.1 claim (citing the LogP sensitivity

@@ -20,6 +20,9 @@
 // violation.
 //
 // Usage: vnstress [-seed N] [-nodes N] [-duration D-sim-seconds] [-drop P]
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles of the soak run
+// for engine performance work.
 package main
 
 import (
@@ -27,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"virtnet/internal/core"
 	"virtnet/internal/fault"
@@ -38,14 +43,16 @@ import (
 )
 
 var (
-	seed      = flag.Int64("seed", 1, "simulation seed")
-	nodes     = flag.Int("nodes", 12, "cluster size")
-	duration  = flag.Float64("duration", 2.0, "simulated seconds of load")
-	drop      = flag.Float64("drop", 0.02, "packet loss probability")
-	churn     = flag.Bool("churn", true, "create/free endpoints during the run")
-	swap      = flag.Bool("swap", true, "hot-swap a spine switch during the run")
-	migr      = flag.Bool("migrate", true, "live-migrate peer endpoints during the run")
-	faultplan = flag.String("faultplan", "", "scripted fault schedule (internal/fault syntax), e.g. link:3-7@0.2s+0.5s,crash:node9@1s")
+	seed       = flag.Int64("seed", 1, "simulation seed")
+	nodes      = flag.Int("nodes", 12, "cluster size")
+	duration   = flag.Float64("duration", 2.0, "simulated seconds of load")
+	drop       = flag.Float64("drop", 0.02, "packet loss probability")
+	churn      = flag.Bool("churn", true, "create/free endpoints during the run")
+	swap       = flag.Bool("swap", true, "hot-swap a spine switch during the run")
+	migr       = flag.Bool("migrate", true, "live-migrate peer endpoints during the run")
+	faultplan  = flag.String("faultplan", "", "scripted fault schedule (internal/fault syntax), e.g. link:3-7@0.2s+0.5s,crash:node9@1s")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 const (
@@ -69,6 +76,30 @@ type peer struct {
 
 func main() {
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 	cfg := hostos.DefaultClusterConfig()
 	cfg.Net.DropProb = *drop
 	cfg.NIC.Frames = 8

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"virtnet/internal/core"
+	"virtnet/internal/hostos"
+	"virtnet/internal/sim"
+)
+
+// SimPerfConfig parameterizes the event-engine self-benchmark: a 2*Pairs-node
+// cluster where each client streams small requests at its server as fast as
+// the credit window allows. The workload exercises the full event hot path —
+// NI firmware loops, retransmit timers, network transit events, proc wakeups.
+type SimPerfConfig struct {
+	Pairs int // client/server pairs; the cluster has 2*Pairs nodes
+	Msgs  int // requests per client
+	Seed  int64
+}
+
+// SimPerfResult separates deterministic virtual-time metrics (safe to golden)
+// from wall-clock metrics (machine-dependent, never golden).
+type SimPerfResult struct {
+	Cfg     SimPerfConfig
+	Replied int64        // requests that completed with a reply
+	Virtual sim.Duration // virtual time at which the last client drained
+	Engine  sim.Stats    // engine counters at completion
+
+	// Wall-clock section: host time and heap allocations over the measured
+	// run (setup excluded), and the events fired within it.
+	Wall       time.Duration
+	Mallocs    uint64
+	EventsRun  uint64
+	MsgsPerSec float64 // virtual-time message rate
+}
+
+// RunSimPerf builds the cluster, streams Pairs*Msgs request/reply exchanges
+// to completion, and reports both metric sets.
+func RunSimPerf(cfg SimPerfConfig) SimPerfResult {
+	if cfg.Pairs == 0 {
+		cfg.Pairs = 8
+	}
+	if cfg.Msgs == 0 {
+		cfg.Msgs = 10000
+	}
+	cl := hostos.NewCluster(cfg.Seed, 2*cfg.Pairs, hostos.DefaultClusterConfig())
+	defer cl.Shutdown()
+
+	type pairState struct {
+		got    int
+		done   bool
+		doneAt sim.Time
+	}
+	states := make([]*pairState, cfg.Pairs)
+	for i := 0; i < cfg.Pairs; i++ {
+		ps := &pairState{}
+		states[i] = ps
+		srvNode := cl.Nodes[i]
+		cliNode := cl.Nodes[cfg.Pairs+i]
+
+		sb := core.Attach(srvNode)
+		sep, err := sb.NewEndpoint(core.Key(100+i), 8)
+		if err != nil {
+			panic(err)
+		}
+		cb := core.Attach(cliNode)
+		cep, err := cb.NewEndpoint(core.Key(200+i), 8)
+		if err != nil {
+			panic(err)
+		}
+		sep.Map(0, cep.Name(), core.Key(200+i))
+		cep.Map(0, sep.Name(), core.Key(100+i))
+
+		sep.SetHandler(hReq, func(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte) {
+			tok.Reply(p, hRep, args)
+		})
+		cep.SetHandler(hRep, func(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte) {
+			ps.got++
+		})
+		srvNode.Spawn(fmt.Sprintf("sp-srv%d", i), func(p *sim.Proc) {
+			for {
+				if sep.Poll(p) == 0 {
+					p.Sleep(sim.Microsecond)
+				}
+			}
+		})
+		cliNode.Spawn(fmt.Sprintf("sp-cli%d", i), func(p *sim.Proc) {
+			for s := 0; s < cfg.Msgs; s++ {
+				if cep.Request(p, 0, hReq, [4]uint64{uint64(s)}) != nil {
+					return
+				}
+				cep.Poll(p)
+			}
+			for ps.got < cfg.Msgs {
+				cep.Poll(p)
+				p.Sleep(sim.Microsecond)
+			}
+			ps.done = true
+			ps.doneAt = p.Now()
+		})
+	}
+
+	before := cl.E.Stats()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	deadline := sim.Time(0).Add(300 * sim.Second)
+	for cl.E.Now() < deadline {
+		cl.E.RunFor(10 * sim.Millisecond)
+		all := true
+		for _, ps := range states {
+			all = all && ps.done
+		}
+		if all {
+			break
+		}
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	after := cl.E.Stats()
+
+	res := SimPerfResult{
+		Cfg:       cfg,
+		Engine:    after,
+		Wall:      wall,
+		Mallocs:   ms1.Mallocs - ms0.Mallocs,
+		EventsRun: after.Fired - before.Fired,
+	}
+	for _, ps := range states {
+		res.Replied += int64(ps.got)
+		if ps.doneAt > sim.Time(res.Virtual) {
+			res.Virtual = sim.Duration(ps.doneAt)
+		}
+	}
+	if res.Virtual > 0 {
+		res.MsgsPerSec = float64(res.Replied) / res.Virtual.Seconds()
+	}
+	return res
+}

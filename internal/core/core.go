@@ -127,11 +127,14 @@ type Bundle struct {
 	cond     *sim.Cond
 	closed   bool
 	resolver Resolver
+	// cfg caches the node's NI configuration (immutable after NI creation)
+	// so per-message cost lookups don't copy the whole struct each time.
+	cfg nic.Config
 }
 
 // Attach opens a bundle on node.
 func Attach(node *hostos.Node) *Bundle {
-	return &Bundle{Node: node, cond: sim.NewCond(node.E)}
+	return &Bundle{Node: node, cond: sim.NewCond(node.E), cfg: node.NIC.Config()}
 }
 
 // Endpoints returns the bundle's endpoints.
@@ -190,6 +193,10 @@ type Endpoint struct {
 	// Freeze waits for it to reach zero so a request popped before the
 	// freeze still gets its reply out before the state is extracted.
 	dispatching int
+	// tok0 is the scratch token the outermost dispatch hands to handlers;
+	// tokens are only valid during the handler, so one per nesting level
+	// suffices and only deeper levels allocate.
+	tok0 Token
 
 	handlers [NumHandlers]Handler
 	onReturn ReturnHandler
@@ -277,7 +284,7 @@ func (ep *Endpoint) Map(idx int, name EndpointName, key Key) error {
 	}
 	ep.trans[idx] = translation{
 		valid: true, name: name, key: key,
-		credits: ep.b.Node.NIC.Config().RecvQDepth,
+		credits: ep.b.cfg.RecvQDepth,
 		node:    node, ver: ver,
 	}
 	ep.reverse[name.ep] = idx
@@ -356,7 +363,7 @@ func (ep *Endpoint) request(p *sim.Proc, idx, h int, args [4]uint64, payload []b
 	if idx < 0 || idx >= len(ep.trans) || !ep.trans[idx].valid {
 		return ErrBadIndex
 	}
-	cfg := ep.b.Node.NIC.Config()
+	cfg := &ep.b.cfg
 	if len(payload) > cfg.MTU {
 		return ErrPayloadSize
 	}
@@ -429,7 +436,7 @@ func (ep *Endpoint) post(p *sim.Proc, dstNode netsim.NodeID, dstEP int, key Key,
 	if ep.moved && !isReply {
 		return ErrMoved
 	}
-	cfg := ep.b.Node.NIC.Config()
+	cfg := &ep.b.cfg
 	os := cfg.OsShort
 	if isReply {
 		os = cfg.OsReply
@@ -506,7 +513,7 @@ func (t *Token) reply(p *sim.Proc, h int, args [4]uint64, payload []byte) error 
 	if t.replied {
 		return errors.New("core: handler replied twice")
 	}
-	if len(payload) > t.ep.b.Node.NIC.Config().MTU {
+	if len(payload) > t.ep.b.cfg.MTU {
 		return ErrPayloadSize
 	}
 	t.replied = true
@@ -524,7 +531,7 @@ func (ep *Endpoint) pollOnce(p *sim.Proc) int {
 		// this stale handle must not steal its messages.
 		return 0
 	}
-	cfg := ep.b.Node.NIC.Config()
+	cfg := &ep.b.cfg
 	ep.lock(p)
 	if ep.seg.Resident() {
 		p.Sleep(cfg.PollResident)
@@ -543,6 +550,9 @@ func (ep *Endpoint) pollOnce(p *sim.Proc) int {
 		ep.dispatching++
 		ep.dispatch(p, m)
 		ep.dispatching--
+		// The descriptor is dead: handlers receive the args and payload,
+		// never the RecvMsg itself.
+		m.Free()
 		if ep.dispatching == 0 && ep.moved {
 			ep.seg.Cond.Broadcast() // wake a Freeze waiting on us
 		}
@@ -552,7 +562,7 @@ func (ep *Endpoint) pollOnce(p *sim.Proc) int {
 
 // dispatch charges Or and runs the appropriate handler for one message.
 func (ep *Endpoint) dispatch(p *sim.Proc, m *nic.RecvMsg) {
-	cfg := ep.b.Node.NIC.Config()
+	cfg := &ep.b.cfg
 	or := cfg.OrShort
 	if m.IsReply && !m.IsReturn {
 		or = cfg.OrReply
@@ -595,7 +605,17 @@ func (ep *Endpoint) dispatch(p *sim.Proc, m *nic.RecvMsg) {
 	if h == nil {
 		return
 	}
-	tok := &Token{ep: ep, src: src, key: m.ReplyKey}
+	// Tokens are valid only until the handler returns (the AM-II contract),
+	// so the outermost dispatch reuses a per-endpoint scratch token. Nested
+	// dispatches (a handler polling while it waits for send-queue space)
+	// allocate, since the outer handler's token is still live.
+	var tok *Token
+	if ep.dispatching == 1 {
+		tok = &ep.tok0
+		*tok = Token{ep: ep, src: src, key: m.ReplyKey}
+	} else {
+		tok = &Token{ep: ep, src: src, key: m.ReplyKey}
+	}
 	if m.IsReply {
 		tok.replied = true // replies must not be replied to
 	}

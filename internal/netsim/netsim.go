@@ -42,6 +42,41 @@ type Packet struct {
 	// injection). The network still delivers it; the receiving NI's CRC
 	// check discards it, and the transport's retransmission masks the loss.
 	Corrupt bool
+
+	// Pool bookkeeping. owner is non-nil only for packets obtained from
+	// Network.AllocPacket; directly constructed packets (tests, simple
+	// senders) have a nil owner and Retain/Release are no-ops on them.
+	owner *Network
+	refs  int32
+	fnext *Packet // free-list link
+}
+
+// Retain takes an additional reference on a pooled packet. A consumer that
+// keeps the packet past the delivery callback must Retain it there and
+// Release it when done, or its fields may be recycled under it.
+func (p *Packet) Retain() {
+	if p.owner != nil {
+		p.refs++
+	}
+}
+
+// Release drops one reference. When the last reference on a pooled packet is
+// released, every field is zeroed (no payload aliasing across reuses) and the
+// struct returns to its network's free list.
+func (p *Packet) Release() {
+	if p.owner == nil {
+		return
+	}
+	p.refs--
+	if p.refs > 0 {
+		return
+	}
+	if p.refs < 0 {
+		panic("netsim: packet over-released")
+	}
+	n := p.owner
+	*p = Packet{owner: n, fnext: n.freePkt}
+	n.freePkt = p
 }
 
 // Config describes the physical network.
@@ -149,6 +184,13 @@ type Network struct {
 	// corrupt is the per-packet probability that a delivered packet's bits
 	// are flipped in flight (fault injection; see SetCorruptProb).
 	corrupt float64
+	// freePkt and freeTr recycle packets and in-flight transit records, so
+	// steady-state traffic allocates nothing per packet.
+	freePkt *Packet
+	freeTr  *transit
+	// pathBuf is the scratch buffer path() fills in lieu of allocating a
+	// fresh link slice per injected packet.
+	pathBuf [4]*link
 	// Stats
 	Sent, Delivered, Dropped int64
 	// Corrupted counts packets delivered with flipped bits.
@@ -201,6 +243,50 @@ func New(e *sim.Engine, cfg Config, nhosts int) *Network {
 	return n
 }
 
+// AllocPacket returns a zeroed packet from the network's pool with one
+// reference held by the caller. The network takes its own reference for the
+// duration of transit; the caller's reference is released with Release once
+// the caller no longer needs the handle (e.g. when a send attempt resolves).
+func (n *Network) AllocPacket() *Packet {
+	if p := n.freePkt; p != nil {
+		n.freePkt = p.fnext
+		p.fnext = nil
+		p.refs = 1
+		return p
+	}
+	return &Packet{owner: n, refs: 1}
+}
+
+// transit carries one packet through the fabric: a pooled record with a
+// pre-bound delivery timer, replacing a per-packet closure per hop.
+type transit struct {
+	n     *Network
+	pkt   *Packet
+	timer *sim.Timer
+	next  *transit
+}
+
+func (n *Network) newTransit(pkt *Packet) *transit {
+	tr := n.freeTr
+	if tr != nil {
+		n.freeTr = tr.next
+		tr.next = nil
+	} else {
+		tr = &transit{n: n}
+		tr.timer = n.e.NewTimer(tr.run)
+	}
+	tr.pkt = pkt
+	return tr
+}
+
+func (tr *transit) run() {
+	pkt := tr.pkt
+	tr.pkt = nil
+	tr.next = tr.n.freeTr
+	tr.n.freeTr = tr
+	tr.n.handoff(pkt)
+}
+
 // NumHosts returns the number of attached host ports.
 func (n *Network) NumHosts() int { return n.nhosts }
 
@@ -224,20 +310,26 @@ func (n *Network) Routes(src, dst NodeID) int {
 }
 
 // path returns the ordered directed links from src to dst using the given
-// route index (spine selector for inter-leaf traffic).
+// route index (spine selector for inter-leaf traffic). The returned slice
+// aliases a Network-owned scratch buffer: it is valid only until the next
+// call, which is fine for inject (the sole caller), which walks it
+// synchronously.
 func (n *Network) path(src, dst NodeID, route int) []*link {
 	if src == dst {
 		return nil
 	}
 	ls, ld := n.leafOf(src), n.leafOf(dst)
 	if ls == ld {
-		return []*link{n.hostUp[src], n.hostDown[dst]}
+		n.pathBuf[0], n.pathBuf[1] = n.hostUp[src], n.hostDown[dst]
+		return n.pathBuf[:2]
 	}
 	s := route % n.cfg.Spines
 	if s < 0 {
 		s += n.cfg.Spines
 	}
-	return []*link{n.hostUp[src], n.up[ls][s], n.down[s][ld], n.hostDown[dst]}
+	n.pathBuf[0], n.pathBuf[1], n.pathBuf[2], n.pathBuf[3] =
+		n.hostUp[src], n.up[ls][s], n.down[s][ld], n.hostDown[dst]
+	return n.pathBuf[:4]
 }
 
 // PathHops returns the number of switch hops between two hosts.
@@ -285,6 +377,9 @@ func (n *Network) Blocked(id NodeID) int { return len(n.waitq[id]) }
 // Data packets for a receiver whose admission gate is closed wait in the
 // fabric and are released by Admit.
 func (n *Network) Send(pkt *Packet, route int) {
+	// The network's transit reference: held while the packet is parked or in
+	// flight, dropped after delivery or loss.
+	pkt.Retain()
 	if !pkt.Control && pkt.Src != pkt.Dst {
 		if adm := n.admission[pkt.Dst]; adm != nil {
 			if len(n.waitq[pkt.Dst]) > 0 || !adm() {
@@ -305,10 +400,11 @@ func (n *Network) inject(pkt *Packet, route int) {
 			// Attribute the uniform fabric loss to the sender's access link.
 			n.hostUp[pkt.Src].dropped++
 		}
+		pkt.Release()
 		return
 	}
 	if pkt.Src == pkt.Dst {
-		n.e.Schedule(n.cfg.SwitchLatency, func() { n.handoff(pkt) })
+		n.newTransit(pkt).timer.Reset(n.cfg.SwitchLatency)
 		return
 	}
 	links := n.path(pkt.Src, pkt.Dst, route)
@@ -321,6 +417,7 @@ func (n *Network) inject(pkt *Packet, route int) {
 			// a different route (§5.1) — reconfiguration is transparent.
 			L.dropped++
 			n.Dropped++
+			pkt.Release()
 			return
 		}
 		if g := L.ge; g != nil {
@@ -331,6 +428,7 @@ func (n *Network) inject(pkt *Packet, route int) {
 			if pl > 0 && n.e.Rand().Float64() < pl {
 				L.dropped++
 				n.Dropped++
+				pkt.Release()
 				return
 			}
 		}
@@ -368,7 +466,7 @@ func (n *Network) inject(pkt *Packet, route int) {
 		L.freeAt = start.Add(tx)
 	}
 	done := t0.Add(sim.Duration(len(links))*hop + tx)
-	n.e.ScheduleAt(done, func() { n.handoff(pkt) })
+	n.newTransit(pkt).timer.ResetAt(done)
 }
 
 func (n *Network) handoff(pkt *Packet) {
@@ -376,6 +474,7 @@ func (n *Network) handoff(pkt *Packet) {
 	if fn := n.deliver[pkt.Dst]; fn != nil {
 		fn(pkt)
 	}
+	pkt.Release()
 }
 
 // Utilization returns the busy fraction of the most-utilized inter-switch

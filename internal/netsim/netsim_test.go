@@ -108,9 +108,10 @@ func TestMultiPathUsesDistinctSpines(t *testing.T) {
 	if r := n.Routes(0, 3); r != 1 {
 		t.Fatalf("same-leaf routes = %d, want 1", r)
 	}
-	p0 := n.path(0, 99, 0)
-	p1 := n.path(0, 99, 1)
-	if p0[1] == p1[1] {
+	// path() reuses a scratch buffer, so copy the spine hop out between calls.
+	spine0 := n.path(0, 99, 0)[1]
+	spine1 := n.path(0, 99, 1)[1]
+	if spine0 == spine1 {
 		t.Fatal("different routes share the same uplink spine")
 	}
 }

@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"testing"
+
+	"virtnet/internal/sim"
+)
+
+// TestPacketPoolNoAliasing exercises the packet free list: a released packet
+// must come back zeroed (its old payload must not leak into the next
+// allocation), and a packet retained by its receiver must not be recycled
+// under the receiver, even after the network and sender drop their
+// references. Run under -race as part of the race suite.
+func TestPacketPoolNoAliasing(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Shutdown()
+	n := New(e, DefaultConfig(), 2)
+
+	var delivered []*Packet
+	n.Attach(0, func(p *Packet) {})
+	n.Attach(1, func(p *Packet) {
+		p.Retain() // consumer keeps the packet past the callback
+		delivered = append(delivered, p)
+	})
+
+	payload1 := []byte("first payload")
+	p1 := n.AllocPacket()
+	p1.Src, p1.Dst, p1.Size, p1.Payload = 0, 1, len(payload1), payload1
+	n.Send(p1, 0)
+	e.RunFor(sim.Millisecond)
+
+	if len(delivered) != 1 || delivered[0] != p1 {
+		t.Fatalf("expected p1 delivered, got %v", delivered)
+	}
+	// Sender drops its handle; the receiver's Retain must keep p1 intact.
+	p1.Release()
+	p2 := n.AllocPacket()
+	if p2 == p1 {
+		t.Fatalf("retained packet was recycled")
+	}
+	if got := p1.Payload.([]byte); &got[0] != &payload1[0] || string(got) != "first payload" {
+		t.Fatalf("retained packet payload clobbered: %q", got)
+	}
+
+	// Receiver finishes with p1: it must be the next allocation, zeroed.
+	p1.Release()
+	p3 := n.AllocPacket()
+	if p3 != p1 {
+		t.Fatalf("released packet not recycled (free list broken)")
+	}
+	if p3.Payload != nil || p3.Src != 0 || p3.Dst != 0 || p3.Size != 0 ||
+		p3.Control || p3.Parked || p3.Corrupt {
+		t.Fatalf("recycled packet not zeroed: %+v", p3)
+	}
+
+	// Send it again with a different payload: the receiver must observe only
+	// the new contents, and the first delivery's payload slice is untouched.
+	payload3 := []byte("second payload")
+	p3.Dst, p3.Size, p3.Payload = 1, len(payload3), payload3
+	n.Send(p3, 0)
+	e.RunFor(sim.Millisecond)
+	if len(delivered) != 2 {
+		t.Fatalf("second delivery missing")
+	}
+	if string(delivered[1].Payload.([]byte)) != "second payload" {
+		t.Fatalf("wrong payload on recycled packet: %q", delivered[1].Payload)
+	}
+	if string(payload1) != "first payload" {
+		t.Fatalf("first payload mutated by recycle: %q", payload1)
+	}
+	for _, p := range delivered {
+		p.Release()
+	}
+	p2.Release()
+
+	// Unpooled packets (direct construction) must pass through Retain and
+	// Release as no-ops.
+	up := &Packet{Src: 0, Dst: 1, Size: 8}
+	up.Retain()
+	up.Release()
+	up.Release()
+	if up.owner != nil {
+		t.Fatalf("unpooled packet acquired an owner")
+	}
+}

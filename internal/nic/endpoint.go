@@ -75,6 +75,36 @@ type RecvMsg struct {
 	// Visible is when a host poll can first observe the message (deposit
 	// plus SBUS descriptor read latency).
 	Visible sim.Time
+
+	// owner points at the NI whose free list recycles this message (nil for
+	// directly built test messages); fnext links the free list. The message
+	// is dead once the host has dispatched it — handlers receive the args
+	// and payload, never the descriptor — so the poller returns it with
+	// Free. The payload slice is not owned and is never recycled.
+	owner *NIC
+	fnext *RecvMsg
+}
+
+// Free returns a pooled receive descriptor to its owning NI, zeroing every
+// field except the pool linkage. A no-op on unpooled messages. Callers must
+// not touch the message afterwards.
+func (m *RecvMsg) Free() {
+	o := m.owner
+	if o == nil {
+		return
+	}
+	*m = RecvMsg{owner: o, fnext: o.msgFree}
+	o.msgFree = m
+}
+
+// allocMsg takes a receive descriptor from the NI's free list, or makes one.
+func (n *NIC) allocMsg() *RecvMsg {
+	if m := n.msgFree; m != nil {
+		n.msgFree = m.fnext
+		m.fnext = nil
+		return m
+	}
+	return &RecvMsg{owner: n}
 }
 
 // EndpointImage is the NI-visible representation of an endpoint: its message

@@ -125,8 +125,8 @@ func (n *NIC) queueAck(p *sim.Proc, data *wirePkt) {
 	if len(n.pendingAcks[peer]) == 1 {
 		// First pending ack for this peer: bound its wait.
 		peer := peer
-		n.e.Schedule(n.cfg.AckDelay, func() {
-			n.work = append(n.work, func(q *sim.Proc) { n.flushAcks(q, peer) })
+		n.e.AfterFunc(n.cfg.AckDelay, func() {
+			n.work.Push(workItem{kind: workFlushAcks, peer: peer})
 			n.wake()
 		})
 	}
@@ -161,12 +161,11 @@ func (n *NIC) flushAcks(p *sim.Proc, peer netsim.NodeID) {
 	}
 	p.Sleep(n.cfg.AckSend)
 	n.C.Inc("tx.ack.flush")
-	ctl := &wirePkt{
-		Kind:  pktAck,
-		SrcNI: n.id,
-		DstNI: peer,
-		Piggy: acks,
-	}
+	ctl := n.allocCtl()
+	ctl.Kind = pktAck
+	ctl.SrcNI = n.id
+	ctl.DstNI = peer
+	ctl.Piggy = acks
 	n.inject(ctl, acks[0].Chan)
 }
 
@@ -181,7 +180,8 @@ func (n *NIC) processPiggy(p *sim.Proc, pkt *wirePkt) {
 			n.C.Inc("rx.ack.stale")
 			continue
 		}
-		n.observeRTT(&wirePkt{SrcNI: pkt.SrcNI, Stamp: a.Stamp}, ch.retries)
+		n.scratch.SrcNI, n.scratch.Stamp = pkt.SrcNI, a.Stamp
+		n.observeRTT(&n.scratch, ch.retries)
 		n.resolveChannel(ch)
 	}
 	if len(pkt.Piggy) > 0 {

@@ -74,7 +74,11 @@ type channel struct {
 	inflight *wirePkt
 	retries  int
 	backoff  sim.Duration
+	// timer is the channel's reusable retransmission timer: created once on
+	// first arm, re-armed with Reset on every (re)transmission. timerSeq is
+	// the attempt the current arm belongs to, read when the timer fires.
 	timer    *sim.Timer
+	timerSeq uint64
 }
 
 type chanKey struct {
@@ -98,6 +102,30 @@ type rxState struct {
 	rejectedSeq uint64
 }
 
+// workKind tags a deferred work-queue entry.
+type workKind int8
+
+const (
+	workSendControl    workKind = iota // answer a data packet refused at arrival
+	workRetransmit                     // retransmission timer expired
+	workCompleteUnload                 // quiesce finished; finish the unload
+	workFlushAcks                      // piggyback ack delay expired
+)
+
+// workItem is one deferred unit of firmware work. The queue used to hold
+// closures; a typed entry is allocation-free (the slice holds values) and
+// dispatches through one switch, in the same FIFO order.
+type workItem struct {
+	kind   workKind
+	pkt    *wirePkt      // workSendControl: the data packet to answer
+	res    pktKind       // workSendControl
+	reason NackReason    // workSendControl
+	ch     *channel      // workRetransmit
+	seq    uint64        // workRetransmit: the attempt the timer was armed for
+	cmd    *DriverCmd    // workCompleteUnload
+	peer   netsim.NodeID // workFlushAcks
+}
+
 // NIC is one simulated network interface.
 type NIC struct {
 	e      *sim.Engine
@@ -112,11 +140,27 @@ type NIC struct {
 	// inboundCtl holds arriving ACK/NACK packets; they are tiny, carry no
 	// payload, and are processed ahead of data so a deep data backlog
 	// cannot delay channel turnaround past the retransmission timers.
-	inboundCtl []*wirePkt
+	inboundCtl deque[*wirePkt]
 	// inbound holds arriving data packets, bounded by Config.InboundPool.
-	inbound []*wirePkt
-	work    []func(p *sim.Proc)
-	cmds    []*DriverCmd
+	inbound deque[*wirePkt]
+	work    deque[workItem]
+	cmds    deque[*DriverCmd]
+
+	// wakeFn is the pre-bound wake method value, so scheduling a wakeup does
+	// not allocate a fresh bound-method closure each time.
+	wakeFn func()
+	// ctlFree recycles outbound control-packet headers (acks/nacks): the
+	// receiver releases them after processing, so steady-state control
+	// traffic allocates no headers. Data headers are not pooled — a sender
+	// may hold a reference across retransmissions.
+	ctlFree *wirePkt
+	// msgFree recycles receive descriptors: the host poller frees each one
+	// after dispatching it (RecvMsg.Free), so steady-state delivery
+	// allocates no descriptors.
+	msgFree *RecvMsg
+	// scratch is an NI-owned header used to re-materialize piggybacked acks
+	// for the RTT estimator without allocating a header per ack.
+	scratch wirePkt
 
 	frames []*EndpointImage
 	eps    map[int]*EndpointImage
@@ -185,9 +229,10 @@ func New(e *sim.Engine, net *netsim.Network, id netsim.NodeID, cfg Config) *NIC 
 		C:         trace.NewCounters(),
 	}
 	n.idle = sim.NewCond(e)
+	n.wakeFn = n.wake
 	net.Attach(id, n.fromNetwork)
 	if cfg.InboundPool > 0 {
-		net.SetAdmission(id, func() bool { return len(n.inbound) < cfg.InboundPool })
+		net.SetAdmission(id, func() bool { return n.inbound.Len() < cfg.InboundPool })
 	}
 	n.proc = e.Spawn(fmt.Sprintf("nic%d", id), n.loop)
 	return n
@@ -266,7 +311,7 @@ func (n *NIC) PostSend(ep *EndpointImage) { n.wake() }
 
 // SubmitCmd queues a driver command for the dispatch loop.
 func (n *NIC) SubmitCmd(cmd *DriverCmd) {
-	n.cmds = append(n.cmds, cmd)
+	n.cmds.Push(cmd)
 	n.wake()
 }
 
@@ -275,7 +320,7 @@ func (n *NIC) wake() { n.idle.Signal() }
 
 // QueueLens reports the dispatch loop's queue depths (diagnostics).
 func (n *NIC) QueueLens() (inbound, ctl, work, cmds int) {
-	return len(n.inbound), len(n.inboundCtl), len(n.work), len(n.cmds)
+	return n.inbound.Len(), n.inboundCtl.Len(), n.work.Len(), n.cmds.Len()
 }
 
 // DumpEndpoints renders every registered endpoint's state (diagnostics).
@@ -308,6 +353,9 @@ func (n *NIC) fromNetwork(p *netsim.Packet) {
 		// The interface is dark (crashed host or rebooting firmware):
 		// arrivals die here and the senders' transport masks the loss.
 		n.C.Inc("rx.dark_drop")
+		if w, ok := p.Payload.(*wirePkt); ok && w.Kind != pktData {
+			w.release()
+		}
 		return
 	}
 	pkt := p.Payload.(*wirePkt)
@@ -316,14 +364,17 @@ func (n *NIC) fromNetwork(p *netsim.Packet) {
 		// cannot be trusted to NACK, so the packet is discarded silently and
 		// the sender's retransmission recovers (§5.1).
 		n.C.Inc("rx.crc_drop")
+		if pkt.Kind != pktData {
+			pkt.release()
+		}
 		return
 	}
 	if pkt.Kind != pktData {
-		n.inboundCtl = append(n.inboundCtl, pkt)
+		n.inboundCtl.Push(pkt)
 		n.wake()
 		return
 	}
-	if n.cfg.InboundPool > 0 && len(n.inbound) >= n.cfg.InboundPool {
+	if n.cfg.InboundPool > 0 && n.inbound.Len() >= n.cfg.InboundPool {
 		// Staging pool exhausted: refuse the packet at arrival and let the
 		// sender's flow control retransmit it later. The answer must be
 		// consistent with what other copies of the same attempt received:
@@ -333,18 +384,17 @@ func (n *NIC) fromNetwork(p *netsim.Packet) {
 		n.C.Inc("rx.pool_overrun")
 		switch {
 		case pkt.Seq == st.lastSeen:
-			res, reason := st.lastResult, st.lastReason
-			n.work = append(n.work, func(q *sim.Proc) { n.sendControl(q, pkt, res, reason) })
+			n.work.Push(workItem{kind: workSendControl, pkt: pkt, res: st.lastResult, reason: st.lastReason})
 		case pkt.Seq < st.lastSeen:
-			n.work = append(n.work, func(q *sim.Proc) { n.sendControl(q, pkt, pktAck, NackNone) })
+			n.work.Push(workItem{kind: workSendControl, pkt: pkt, res: pktAck, reason: NackNone})
 		default:
 			st.rejectedSeq = pkt.Seq
-			n.work = append(n.work, func(q *sim.Proc) { n.sendControl(q, pkt, pktNack, NackOverrun) })
+			n.work.Push(workItem{kind: workSendControl, pkt: pkt, res: pktNack, reason: NackOverrun})
 		}
 		n.wake()
 		return
 	}
-	n.inbound = append(n.inbound, pkt)
+	n.inbound.Push(pkt)
 	n.wake()
 }
 
@@ -357,28 +407,21 @@ func (n *NIC) fromNetwork(p *netsim.Packet) {
 func (n *NIC) loop(p *sim.Proc) {
 	for !n.stopped {
 		did := false
-		if len(n.work) > 0 {
-			w := n.work[0]
-			n.work = n.work[1:]
-			w(p)
+		if w, ok := n.work.Pop(); ok {
+			n.runWork(p, w)
 			continue
 		}
-		if len(n.inboundCtl) > 0 {
-			pkt := n.inboundCtl[0]
-			n.inboundCtl = n.inboundCtl[1:]
+		if pkt, ok := n.inboundCtl.Pop(); ok {
 			n.handlePkt(p, pkt)
+			pkt.release()
 			continue
 		}
-		if len(n.inbound) > 0 {
-			pkt := n.inbound[0]
-			n.inbound = n.inbound[1:]
+		if pkt, ok := n.inbound.Pop(); ok {
 			n.net.Admit(n.id) // back pressure: a staging slot freed
 			n.handlePkt(p, pkt)
 			did = true
 		}
-		if len(n.cmds) > 0 {
-			cmd := n.cmds[0]
-			n.cmds = n.cmds[1:]
+		if cmd, ok := n.cmds.Pop(); ok {
 			n.curCmd = cmd
 			n.handleCmd(p, cmd)
 			n.curCmd = nil
@@ -390,6 +433,20 @@ func (n *NIC) loop(p *sim.Proc) {
 		if !did {
 			n.idle.Wait(p)
 		}
+	}
+}
+
+// runWork dispatches one deferred work item.
+func (n *NIC) runWork(p *sim.Proc, w workItem) {
+	switch w.kind {
+	case workSendControl:
+		n.sendControl(p, w.pkt, w.res, w.reason)
+	case workRetransmit:
+		n.retransmit(p, w.ch, w.seq)
+	case workCompleteUnload:
+		n.completeUnload(p, w.cmd)
+	case workFlushAcks:
+		n.flushAcks(p, w.peer)
 	}
 }
 
@@ -427,7 +484,7 @@ func (n *NIC) sendable(ep *EndpointImage) *ring[*SendDesc] {
 			continue
 		}
 		if d.NextTry > n.e.Now() {
-			n.e.ScheduleAt(d.NextTry, n.wake)
+			n.e.AfterFuncAt(d.NextTry, n.wakeFn)
 			continue
 		}
 		if n.freeChannel(d.DstNI) != nil {
@@ -527,12 +584,21 @@ func (n *NIC) inject(pkt *wirePkt, route int) {
 		size = n.cfg.HeaderBytes + len(pkt.Payload)
 	}
 	size += 8 * len(pkt.Piggy)
-	np := &netsim.Packet{
-		Src: n.id, Dst: pkt.DstNI, Size: size, Payload: pkt,
-		Control: pkt.Kind != pktData,
-	}
-	pkt.netPkt = np
+	np := n.net.AllocPacket()
+	np.Src, np.Dst, np.Size, np.Payload = n.id, pkt.DstNI, size, pkt
+	np.Control = pkt.Kind != pktData
 	n.net.Send(np, route)
+	if pkt.Kind == pktData {
+		// Keep a handle on the transmission so the retransmit path can see
+		// whether this copy is parked behind back pressure; the handle is
+		// released when the attempt resolves (or on the next retransmission).
+		if old := pkt.netPkt; old != nil {
+			old.Release()
+		}
+		pkt.netPkt = np
+	} else {
+		np.Release()
+	}
 }
 
 func (n *NIC) dmaTime(bytes int, bps float64) sim.Duration {
@@ -542,13 +608,16 @@ func (n *NIC) dmaTime(bytes int, bps float64) sim.Duration {
 // armTimer schedules a retransmission with randomized exponential backoff
 // (or the adaptive RTT-based timeout when the extension is enabled).
 func (n *NIC) armTimer(ch *channel) {
-	seq := ch.inflight.Seq
 	jitter := 1.0 + 0.5*n.e.Rand().Float64()
 	d := sim.Duration(float64(n.retransDelay(ch)) * jitter)
-	ch.timer = n.e.Schedule(d, func() {
-		n.work = append(n.work, func(p *sim.Proc) { n.retransmit(p, ch, seq) })
-		n.wake()
-	})
+	if ch.timer == nil {
+		ch.timer = n.e.NewTimer(func() {
+			n.work.Push(workItem{kind: workRetransmit, ch: ch, seq: ch.timerSeq})
+			n.wake()
+		})
+	}
+	ch.timerSeq = ch.inflight.Seq
+	ch.timer.Reset(d)
 }
 
 // retransmit handles a retransmission timeout on ch for the given attempt.
@@ -608,10 +677,13 @@ func (n *NIC) resolveChannel(ch *channel) {
 	ch.inflight = nil
 	if ch.timer != nil {
 		ch.timer.Stop()
-		ch.timer = nil
 	}
 	if pkt == nil {
 		return
+	}
+	if pkt.netPkt != nil {
+		pkt.netPkt.Release()
+		pkt.netPkt = nil
 	}
 	if ep, ok := n.eps[pkt.desc.SrcEP]; ok {
 		ep.inflight--
@@ -620,7 +692,7 @@ func (n *NIC) resolveChannel(ch *channel) {
 			// firmware reboot that wipes the deferred-work queue can requeue
 			// the completion (completeUnload is idempotent under that guard).
 			cmd := ep.unloadWait
-			n.work = append(n.work, func(p *sim.Proc) { n.completeUnload(p, cmd) })
+			n.work.Push(workItem{kind: workCompleteUnload, cmd: cmd})
 			n.wake()
 		}
 	}
@@ -657,20 +729,19 @@ func (n *NIC) returnToSender(d *SendDesc, reason NackReason) {
 		n.C.Inc("rts.dropped")
 		return
 	}
-	msg := &RecvMsg{
-		SrcNI:    d.DstNI,
-		SrcEP:    d.DstEP,
-		Handler:  d.Handler,
-		IsReply:  d.IsReply,
-		IsReturn: true,
-		Reason:   reason,
-		Args:     d.Args,
-		Payload:  d.Payload,
-		MsgID:    d.MsgID,
-		Key:      d.Key,
-		Arrive:   n.e.Now(),
-		Visible:  n.e.Now(),
-	}
+	msg := n.allocMsg()
+	msg.SrcNI = d.DstNI
+	msg.SrcEP = d.DstEP
+	msg.Handler = d.Handler
+	msg.IsReply = d.IsReply
+	msg.IsReturn = true
+	msg.Reason = reason
+	msg.Args = d.Args
+	msg.Payload = d.Payload
+	msg.MsgID = d.MsgID
+	msg.Key = d.Key
+	msg.Arrive = n.e.Now()
+	msg.Visible = n.e.Now()
 	if !ep.RepQ.Push(msg) {
 		// The reply ring is full (the host is not polling — e.g. the
 		// endpoint is frozen for migration). Spill to the host-memory
@@ -793,17 +864,16 @@ func (n *NIC) deliver(p *sim.Proc, pkt *wirePkt) (pktKind, NackReason) {
 		// Stage payload from NI memory to the host buffer over the SBUS.
 		p.Sleep(n.cfg.DMASetup + n.dmaTime(len(pkt.Payload), n.cfg.SBusWriteBps))
 	}
-	msg := &RecvMsg{
-		SrcNI:    pkt.SrcNI,
-		SrcEP:    pkt.SrcEP,
-		Handler:  pkt.Handler,
-		IsReply:  pkt.IsReply,
-		Args:     pkt.Args,
-		Payload:  pkt.Payload,
-		ReplyKey: pkt.ReplyKey,
-		Arrive:   n.e.Now(),
-		Visible:  n.e.Now().Add(n.cfg.DepositLatency),
-	}
+	msg := n.allocMsg()
+	msg.SrcNI = pkt.SrcNI
+	msg.SrcEP = pkt.SrcEP
+	msg.Handler = pkt.Handler
+	msg.IsReply = pkt.IsReply
+	msg.Args = pkt.Args
+	msg.Payload = pkt.Payload
+	msg.ReplyKey = pkt.ReplyKey
+	msg.Arrive = n.e.Now()
+	msg.Visible = n.e.Now().Add(n.cfg.DepositLatency)
 	q.Push(msg)
 	if pkt.MsgID != 0 {
 		ep.MarkMsg(pkt.SrcEP, pkt.MsgID)
@@ -830,16 +900,15 @@ func (n *NIC) sendControl(p *sim.Proc, data *wirePkt, kind pktKind, reason NackR
 		p.Sleep(n.cfg.NackSend)
 		n.C.Inc("tx.nack." + reason.String())
 	}
-	ctl := &wirePkt{
-		Kind:   kind,
-		SrcNI:  n.id,
-		DstNI:  data.SrcNI,
-		Chan:   data.Chan,
-		Seq:    data.Seq,
-		Epoch:  data.Epoch,
-		Stamp:  data.Stamp,
-		Reason: reason,
-	}
+	ctl := n.allocCtl()
+	ctl.Kind = kind
+	ctl.SrcNI = n.id
+	ctl.DstNI = data.SrcNI
+	ctl.Chan = data.Chan
+	ctl.Seq = data.Seq
+	ctl.Epoch = data.Epoch
+	ctl.Stamp = data.Stamp
+	ctl.Reason = reason
 	n.inject(ctl, data.Chan)
 }
 
@@ -1044,7 +1113,9 @@ func (n *NIC) Reboot(outage sim.Duration) {
 	n.proc.Kill()
 	// NI SRAM is gone: arrival staging, deferred work, receive-side
 	// sequence windows, pending piggyback acks, RTT estimates.
-	n.inbound, n.inboundCtl, n.work = nil, nil, nil
+	n.inbound.Reset()
+	n.inboundCtl.Reset()
+	n.work.Reset()
 	n.rx = make(map[chanKey]*rxState)
 	n.pendingAcks = nil
 	n.rtt = nil
@@ -1052,7 +1123,7 @@ func (n *NIC) Reboot(outage sim.Duration) {
 	// is re-read from the front after the reboot.
 	if cmd := n.curCmd; cmd != nil {
 		n.curCmd = nil
-		n.cmds = append([]*DriverCmd{cmd}, n.cmds...)
+		n.cmds.PushFront(cmd)
 	}
 	// A descriptor staged mid-DMA goes back to the head of its queue.
 	if d := n.staging; d != nil {
@@ -1069,7 +1140,6 @@ func (n *NIC) Reboot(outage sim.Duration) {
 		for _, ch := range n.chans[dst] {
 			if ch.timer != nil {
 				ch.timer.Stop()
-				ch.timer = nil
 			}
 			if ch.inflight != nil {
 				d := ch.inflight.desc
@@ -1094,7 +1164,7 @@ func (n *NIC) Reboot(outage sim.Duration) {
 		ep := n.eps[id]
 		if ep.State == EPQuiescing && ep.inflight == 0 && ep.unloadWait != nil {
 			cmd := ep.unloadWait
-			n.work = append(n.work, func(p *sim.Proc) { n.completeUnload(p, cmd) })
+			n.work.Push(workItem{kind: workCompleteUnload, cmd: cmd})
 		}
 	}
 	n.epoch = uint32(n.e.Rand().Int63()) | 1
@@ -1124,12 +1194,18 @@ func (n *NIC) Crash() {
 		for _, ch := range n.chans[dst] {
 			if ch.timer != nil {
 				ch.timer.Stop()
-				ch.timer = nil
+			}
+			if ch.inflight != nil && ch.inflight.netPkt != nil {
+				ch.inflight.netPkt.Release()
+				ch.inflight.netPkt = nil
 			}
 			ch.inflight = nil
 		}
 	}
-	n.inbound, n.inboundCtl, n.work, n.cmds = nil, nil, nil, nil
+	n.inbound.Reset()
+	n.inboundCtl.Reset()
+	n.work.Reset()
+	n.cmds.Reset()
 	n.curCmd, n.staging = nil, nil
 	n.chans = make(map[netsim.NodeID][]*channel)
 	n.rx = make(map[chanKey]*rxState)

@@ -491,7 +491,7 @@ func TestExactlyOnceProperty(t *testing.T) {
 		n1.SubmitCmd(&DriverCmd{Op: OpLoad, EP: dst, Frame: 0})
 		e.RunFor(sim.Millisecond)
 		for i := 0; i < n; i++ {
-			src.SendQ.Push(&SendDesc{SrcEP: 1, DstNI: 1, DstEP: 2, Key: 2, Handler: 1, Args: [4]uint64{uint64(i)}})
+			src.SendQ.Push(&SendDesc{SrcEP: 1, DstNI: 1, DstEP: 2, Key: 2, Handler: 1, Args: [4]uint64{uint64(i)}, MsgID: uint64(i + 1)})
 		}
 		n0.PostSend(src)
 		got := map[uint64]int{}
@@ -503,6 +503,20 @@ func TestExactlyOnceProperty(t *testing.T) {
 					break
 				}
 				got[m.Args[0]]++
+			}
+			// At high drop rates a message can exhaust MaxRetries and be
+			// returned to the sender (§3.2). Exactly-once then means the
+			// sender re-posts it and the receiver's dedup window absorbs
+			// any duplicate the network eventually delivered.
+			for {
+				m, ok := src.PopRecv(e.Now())
+				if !ok {
+					break
+				}
+				if m.IsReturn {
+					src.SendQ.Push(&SendDesc{SrcEP: 1, DstNI: 1, DstEP: 2, Key: 2, Handler: 1, Args: m.Args, MsgID: m.MsgID})
+					n0.PostSend(src)
+				}
 			}
 		}
 		defer e.Shutdown()

@@ -86,4 +86,32 @@ type wirePkt struct {
 	// packet, consulted to suppress retransmission while it is parked
 	// behind back pressure.
 	netPkt *netsim.Packet
+
+	// pool points at the NI whose control-header free list owns this packet
+	// (nil for data headers and directly built test packets); pnext links the
+	// free list.
+	pool  *NIC
+	pnext *wirePkt
+}
+
+// release returns a pooled control header to its owning NI's free list,
+// zeroing every protocol field so the next use starts clean. A no-op on
+// unpooled headers.
+func (w *wirePkt) release() {
+	o := w.pool
+	if o == nil {
+		return
+	}
+	*w = wirePkt{pool: o, pnext: o.ctlFree}
+	o.ctlFree = w
+}
+
+// allocCtl takes a control header from the NI's free list, or makes one.
+func (n *NIC) allocCtl() *wirePkt {
+	if w := n.ctlFree; w != nil {
+		n.ctlFree = w.pnext
+		w.pnext = nil
+		return w
+	}
+	return &wirePkt{pool: n}
 }

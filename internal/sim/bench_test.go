@@ -1,0 +1,94 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleFire measures the raw schedule-then-fire cycle: one event
+// in flight at a time, the engine's hottest path.
+func BenchmarkScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Microsecond, func() {})
+		e.Run()
+	}
+}
+
+// BenchmarkScheduleFireFanout measures bursts: 64 events scheduled across a
+// spread of delays, then drained.
+func BenchmarkScheduleFireFanout(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			e.Schedule(Duration(j%17)*Microsecond, fn)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkTimerStopChurn measures the retransmit-timer pattern: arm a timer,
+// cancel it before it fires, repeat.
+func BenchmarkTimerStopChurn(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		t := e.Schedule(100*Microsecond, fn)
+		t.Stop()
+		e.Schedule(Microsecond, fn)
+		e.Run()
+	}
+}
+
+// BenchmarkProcSleep measures the proc wakeup path: a single proc sleeping in
+// a loop, which is how firmware loops and pollers idle.
+func BenchmarkProcSleep(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	e.Run()
+	e.Shutdown()
+}
+
+// BenchmarkCondSignalWait measures the handoff between two procs through a
+// Cond, the blocking primitive under bundles and semaphores.
+func BenchmarkCondSignalWait(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	c := NewCond(e)
+	e.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c.Wait(p)
+		}
+	})
+	e.Spawn("signaller", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			for !c.Signal() {
+				p.Yield()
+			}
+			p.Yield()
+		}
+	})
+	e.Run()
+	e.Shutdown()
+}
+
+// BenchmarkWaitTimeout measures the timed-wait pattern used by rpc.Serve and
+// the stress harness: every wait arms and disarms a timeout timer.
+func BenchmarkWaitTimeout(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	c := NewCond(e)
+	e.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c.WaitTimeout(p, Microsecond)
+		}
+	})
+	e.Run()
+	e.Shutdown()
+}

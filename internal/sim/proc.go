@@ -6,16 +6,29 @@ package sim
 // simulated state freely while running; it relinquishes control by sleeping
 // or blocking on a Cond.
 type Proc struct {
-	e      *Engine
-	name   string
-	resume chan struct{}
-	parked chan struct{}
-	done   bool
-	killed bool
+	e    *Engine
+	name string
+	// token wakes the goroutine: a resume (runProc set resumed and made it
+	// the loop runner) or a kill. endAck reports a killed goroutine's unwind
+	// back to the synchronous killer.
+	token   chan struct{}
+	endAck  chan struct{}
+	resumed bool
+	done    bool
+	killed  bool
 	// waiting and waitGen track the Cond the proc is parked on so a
 	// timeout can cancel exactly the wait it was armed for.
 	waiting *Cond
 	waitGen uint64
+	// resumeT is the proc's reusable wakeup timer: every Sleep, Yield,
+	// Signal and spawn kick re-arms it instead of allocating a closure.
+	resumeT *Timer
+	// tmoT is the reusable WaitTimeout timer (created on first use);
+	// tmoGen records the waitGen it was armed for and timedOut carries the
+	// verdict back to the waiter.
+	tmoT     *Timer
+	tmoGen   uint64
+	timedOut bool
 }
 
 type procKilled struct{}
@@ -23,17 +36,26 @@ type procKilled struct{}
 // Spawn creates a simulated thread that begins executing fn at the current
 // virtual time (after already-queued events at this time).
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{e: e, name: name, resume: make(chan struct{}), parked: make(chan struct{})}
+	p := &Proc{e: e, name: name, token: make(chan struct{}), endAck: make(chan struct{})}
+	p.resumeT = e.NewTimer(func() { e.runProc(p) })
 	e.procs = append(e.procs, p)
 	go func() {
-		<-p.resume
+		<-p.token
 		if !p.killed {
 			runBody(p, fn)
 		}
 		p.done = true
-		p.parked <- struct{}{}
+		if p.killed && e.runner != p {
+			// Killed while parked: the killer is active and waiting for the
+			// unwind to finish.
+			p.endAck <- struct{}{}
+			return
+		}
+		// The body finished (or was killed) while this goroutine held the
+		// run token: hand the loop to the driver and exit.
+		e.driverCh <- struct{}{}
 	}()
-	e.Schedule(0, func() { e.runProc(p) })
+	p.resumeT.Reset(0)
 	return p
 }
 
@@ -55,6 +77,12 @@ func runBody(p *Proc, fn func(p *Proc)) {
 // signals are not wasted on the corpse. Killing the currently running proc
 // is not allowed; crashes are driven from event context or from another
 // proc, where the victim is parked.
+//
+// With run-loop migration the victim's goroutine may currently be stepping
+// the event loop on behalf of the engine (its body parked in yield). In that
+// case the kill is asynchronous by necessity: the flag is set and the victim
+// unwinds as soon as the event that invoked Kill completes — still before
+// any further simulated work runs in it.
 func (p *Proc) Kill() {
 	if p.done || p.killed {
 		return
@@ -67,8 +95,14 @@ func (p *Proc) Kill() {
 		p.waiting = nil
 	}
 	p.killed = true
-	p.resume <- struct{}{}
-	<-p.parked
+	if p.e.runner == p {
+		// The victim's goroutine is executing this very Kill (an event fired
+		// from its yield loop). Its loop notices the flag when the current
+		// event returns and unwinds, handing the loop to the driver.
+		return
+	}
+	p.token <- struct{}{}
+	<-p.endAck
 }
 
 // Killed reports whether the proc was terminated by Kill or Shutdown.
@@ -86,19 +120,39 @@ func (p *Proc) Done() bool { return p.done }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.e.Now() }
 
-// yield parks the proc and returns control to the engine. The proc resumes
-// when something calls Engine.runProc on it.
+// yield parks the proc's body and turns its goroutine into the engine's
+// loop runner: it steps events — handing the loop off whenever one resumes
+// another proc — until one resumes this proc, at which point it returns to
+// the body with no goroutine switch at all. If the driver's bound is
+// exhausted first, the loop is handed back to the driver and the goroutine
+// parks until a later event resumes (or kills) it.
 func (p *Proc) yield() {
-	p.parked <- struct{}{}
-	<-p.resume
-	if p.killed {
-		panic(procKilled{})
+	e := p.e
+	p.resumed = false
+	e.cur = nil
+	for !p.resumed {
+		if p.killed {
+			// Killed by an event this loop just fired: unwind, running no
+			// further events; the spawn wrapper hands the loop back.
+			panic(procKilled{})
+		}
+		if e.stepBounded(e.bound) {
+			continue
+		}
+		// Nothing left within the driver's bound: hand the loop back and
+		// park until resumed.
+		e.driverCh <- struct{}{}
+		<-p.token
+		if p.killed {
+			panic(procKilled{})
+		}
 	}
+	e.cur = p
 }
 
 // Sleep suspends the proc for d of virtual time.
 func (p *Proc) Sleep(d Duration) {
-	p.e.Schedule(d, func() { p.e.runProc(p) })
+	p.resumeT.Reset(d)
 	p.yield()
 }
 
@@ -125,25 +179,33 @@ func (c *Cond) Wait(p *Proc) {
 }
 
 // WaitTimeout parks p until a signal or until d elapses. It reports whether
-// the proc was signalled (true) or timed out (false).
+// the proc was signalled (true) or timed out (false). The timeout timer is
+// per-proc and reusable: the wait arms it with Reset and disarms it on wake,
+// so repeated timed waits allocate nothing.
 func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
+	if p.tmoT == nil {
+		p.tmoT = p.e.NewTimer(func() {
+			// waitGen identifies the exact wait this arm belongs to, so a
+			// stale firing (the waiter was signalled and has moved on)
+			// does nothing.
+			if p.waiting != nil && p.waitGen == p.tmoGen {
+				p.waiting.remove(p)
+				p.waiting = nil
+				p.timedOut = true
+				p.e.runProc(p)
+			}
+		})
+	}
 	c.waiters = append(c.waiters, p)
 	p.waiting = c
 	p.waitGen++
-	gen := p.waitGen
-	timedOut := false
-	t := c.e.Schedule(d, func() {
-		if p.waiting == c && p.waitGen == gen {
-			c.remove(p)
-			p.waiting = nil
-			timedOut = true
-			c.e.runProc(p)
-		}
-	})
+	p.tmoGen = p.waitGen
+	p.timedOut = false
+	p.tmoT.Reset(d)
 	p.yield()
 	p.waiting = nil
-	t.Stop()
-	return !timedOut
+	p.tmoT.Stop()
+	return !p.timedOut
 }
 
 func (c *Cond) remove(p *Proc) {
@@ -164,7 +226,7 @@ func (c *Cond) Signal() bool {
 	p := c.waiters[0]
 	c.waiters = c.waiters[1:]
 	p.waiting = nil
-	c.e.Schedule(0, func() { c.e.runProc(p) })
+	p.resumeT.Reset(0)
 	return true
 }
 
@@ -173,8 +235,7 @@ func (c *Cond) Broadcast() int {
 	n := len(c.waiters)
 	for _, p := range c.waiters {
 		p.waiting = nil
-		pp := p
-		c.e.Schedule(0, func() { c.e.runProc(pp) })
+		p.resumeT.Reset(0)
 	}
 	c.waiters = nil
 	return n

@@ -7,11 +7,21 @@
 // executes at a time (the engine hands a run token to at most one Proc), so
 // simulated state needs no locking and every run is bit-reproducible for a
 // given seed.
+//
+// Events are kept in a hierarchical timer wheel (four levels of 256 slots,
+// 8 bits of virtual time each) with an overflow min-heap for events beyond
+// the wheel horizon (~4.3 virtual seconds out). Event structs are recycled
+// through a free list; a generation counter makes stale Timer handles inert.
+// The engine fires events in strict (time, seq) order — seq is a monotonic
+// schedule counter, so ties at one instant resolve in FIFO schedule order —
+// and that ordering contract is what makes runs bit-reproducible.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
+	"math"
+	"math/bits"
 	"math/rand"
 )
 
@@ -53,34 +63,68 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 // Sub returns the duration t-u.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
+// Timer wheel geometry: wheelLevels levels of wheelSlots slots, each level
+// covering wheelBits more bits of virtual time than the one below. Level 0
+// slots are single nanoseconds within the current 256 ns frame; level k
+// slots cover 256^k ns. Events beyond the level-3 frame live in the
+// overflow heap until the clock enters their frame.
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4
+)
+
+// Where an event currently lives (event.level).
+const (
+	levelFree int8 = -1 // free list / being fired
+	levelHeap int8 = -2 // overflow heap
+)
+
+// event is a queued callback. Events are engine-owned and recycled through a
+// free list: gen increments every time one is released, so a Timer handle
+// that outlives its event (fired or stopped) can detect staleness and do
+// nothing rather than corrupt an unrelated reuse.
 type event struct {
-	t         Time
-	seq       uint64
-	fn        func()
-	idx       int
-	cancelled bool
+	t     Time
+	seq   uint64
+	fn    func()
+	gen   uint32
+	level int8  // wheel level, levelHeap, or levelFree
+	slot  uint8 // wheel slot when level >= 0
+	idx   int32 // heap index when level == levelHeap
+	prev  *event
+	next  *event // list link in wheel slots; free-list link when free
 }
 
-type eventHeap []*event
+// slotList is a doubly-linked list of events hanging off one wheel slot.
+// Level-0 lists are seq-sorted (every entry shares one absolute time, so
+// seq order is firing order); higher levels are unsorted appends and get
+// ordered as they cascade down.
+type slotList struct {
+	head, tail *event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+type overHeap []*event
+
+func (h overHeap) Len() int { return len(h) }
+func (h overHeap) Less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
+func (h overHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+	h[i].idx = int32(i)
+	h[j].idx = int32(j)
 }
-func (h *eventHeap) Push(x any) {
+func (h *overHeap) Push(x any) {
 	ev := x.(*event)
-	ev.idx = len(*h)
+	ev.idx = int32(len(*h))
 	*h = append(*h, ev)
 }
-func (h *eventHeap) Pop() any {
+func (h *overHeap) Pop() any {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
@@ -90,33 +134,101 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
-// Timer is a handle to a scheduled event; Stop cancels it.
+// Timer is a handle to a scheduled callback. Timers returned by Schedule and
+// ScheduleAt are armed one-shots; NewTimer returns an unarmed reusable timer
+// whose Reset re-arms without allocating, which is what retransmit,
+// heartbeat, and timeout paths want.
 type Timer struct {
-	ev *event
+	e   *Engine
+	fn  func()
+	ev  *event
+	gen uint32
 }
 
-// Stop cancels the timer. It reports whether the event had not yet fired.
+// NewTimer returns an unarmed timer that runs fn when it fires. Arm it with
+// Reset. The timer may be re-armed any number of times; arming draws an
+// event from the engine's pool, so steady-state use allocates nothing.
+func (e *Engine) NewTimer(fn func()) *Timer { return &Timer{e: e, fn: fn} }
+
+// Stop cancels the timer. It reports whether the timer was armed and had not
+// yet fired. The cancelled event is unlinked from the queue immediately
+// (Pending never sees it again) and released for reuse.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.idx < 0 {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen {
 		return false
 	}
-	t.ev.cancelled = true
+	t.e.remove(t.ev)
+	t.ev = nil
+	t.e.stats.Cancelled++
 	return true
+}
+
+// Reset arms the timer to fire at Now()+d, cancelling any pending arm first.
+// The new arm takes a fresh position in the (time, seq) order, exactly as if
+// it had been freshly Scheduled. It reports whether the timer was armed.
+func (t *Timer) Reset(d Duration) bool {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: timer reset with negative delay %v", d))
+	}
+	was := t.Stop()
+	t.ev = t.e.armEvent(t.e.now.Add(d), t.fn)
+	t.gen = t.ev.gen
+	return was
+}
+
+// ResetAt arms the timer to fire at absolute time at, cancelling any pending
+// arm first. It reports whether the timer was armed.
+func (t *Timer) ResetAt(at Time) bool {
+	if at < t.e.now {
+		panic(fmt.Sprintf("sim: timer reset at past time %v (now %v)", at, t.e.now))
+	}
+	was := t.Stop()
+	t.ev = t.e.armEvent(at, t.fn)
+	t.gen = t.ev.gen
+	return was
+}
+
+// Stats describes engine activity since creation: events fired, scheduled
+// and cancelled, event-pool reuse (hit rate = PoolHits/(PoolHits+PoolMisses))
+// and the high-water mark of live queued events.
+type Stats struct {
+	Fired      uint64
+	Scheduled  uint64
+	Cancelled  uint64
+	PoolHits   uint64
+	PoolMisses uint64
+	MaxPending int
 }
 
 // Engine is a discrete-event simulation engine.
 type Engine struct {
 	now   Time
 	seq   uint64
-	pq    eventHeap
 	rng   *rand.Rand
 	cur   *Proc
 	procs []*Proc
+
+	// Run-loop migration state. Exactly one goroutine steps the event loop
+	// at a time: the driver (the goroutine inside Run/RunUntil) or a proc
+	// goroutine whose body is parked in yield. bound is the driver's current
+	// time limit, runner the proc whose goroutine holds the loop (nil when
+	// the driver does), and driverCh the rendezvous used to hand the loop
+	// back to the driver.
+	bound    Time
+	runner   *Proc
+	driverCh chan struct{}
+
+	wheel     [wheelLevels][wheelSlots]slotList
+	occ       [wheelLevels][wheelSlots / 64]uint64 // slot occupancy bitmaps
+	wheelLive int
+	over      overHeap
+	free      *event // event pool
+	stats     Stats
 }
 
 // NewEngine returns an engine with virtual time 0 and a PRNG seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: rand.New(rand.NewSource(seed)), driverCh: make(chan struct{})}
 }
 
 // Now returns the current virtual time.
@@ -127,16 +239,146 @@ func (e *Engine) Now() Time { return e.now }
 // here so runs are reproducible.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// Stats returns a snapshot of the engine's activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// alloc takes an event from the pool, or makes one.
+func (e *Engine) alloc() *event {
+	if ev := e.free; ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		e.stats.PoolHits++
+		return ev
+	}
+	e.stats.PoolMisses++
+	return &event{level: levelFree, idx: -1}
+}
+
+// release returns a no-longer-queued event to the pool, bumping its
+// generation so stale Timer handles can no longer act on it.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	ev.level = levelFree
+	ev.prev = nil
+	ev.next = e.free
+	e.free = ev
+}
+
+// armEvent assigns the next sequence number and queues fn at time at.
+func (e *Engine) armEvent(at Time, fn func()) *event {
+	e.seq++
+	ev := e.alloc()
+	ev.t, ev.seq, ev.fn = at, e.seq, fn
+	e.insert(ev)
+	e.stats.Scheduled++
+	if n := e.wheelLive + len(e.over); n > e.stats.MaxPending {
+		e.stats.MaxPending = n
+	}
+	return ev
+}
+
+// insert places ev in the wheel level whose frame the clock currently shares
+// with ev.t, or in the overflow heap when ev.t is beyond the wheel horizon.
+func (e *Engine) insert(ev *event) {
+	t := ev.t
+	switch {
+	case t>>wheelBits == e.now>>wheelBits:
+		e.insertWheel(ev, 0, uint8(t&wheelMask))
+	case t>>(2*wheelBits) == e.now>>(2*wheelBits):
+		e.insertWheel(ev, 1, uint8((t>>wheelBits)&wheelMask))
+	case t>>(3*wheelBits) == e.now>>(3*wheelBits):
+		e.insertWheel(ev, 2, uint8((t>>(2*wheelBits))&wheelMask))
+	case t>>(4*wheelBits) == e.now>>(4*wheelBits):
+		e.insertWheel(ev, 3, uint8((t>>(3*wheelBits))&wheelMask))
+	default:
+		ev.level = levelHeap
+		heap.Push(&e.over, ev)
+	}
+}
+
+func (e *Engine) insertWheel(ev *event, level int8, slot uint8) {
+	ev.level, ev.slot = level, slot
+	l := &e.wheel[level][slot]
+	switch {
+	case l.tail == nil:
+		l.head, l.tail = ev, ev
+		ev.prev, ev.next = nil, nil
+		e.occ[level][slot>>6] |= 1 << (slot & 63)
+	case level > 0 || l.tail.seq < ev.seq:
+		// Append: higher levels are unsorted; level 0 appends whenever the
+		// new event has the largest seq, which is every fresh schedule.
+		ev.prev, ev.next = l.tail, nil
+		l.tail.next = ev
+		l.tail = ev
+	default:
+		// Out-of-seq-order level-0 insert (only from cascades and heap
+		// transfers): walk back to keep the list seq-sorted.
+		at := l.tail
+		for at.prev != nil && at.prev.seq > ev.seq {
+			at = at.prev
+		}
+		ev.prev, ev.next = at.prev, at
+		if at.prev != nil {
+			at.prev.next = ev
+		} else {
+			l.head = ev
+		}
+		at.prev = ev
+	}
+	e.wheelLive++
+}
+
+// unlinkWheel removes ev from its slot list (O(1)).
+func (e *Engine) unlinkWheel(ev *event) {
+	l := &e.wheel[ev.level][ev.slot]
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		l.head = ev.next
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	} else {
+		l.tail = ev.prev
+	}
+	if l.head == nil {
+		e.occ[ev.level][ev.slot>>6] &^= 1 << (ev.slot & 63)
+	}
+	ev.prev, ev.next = nil, nil
+	e.wheelLive--
+}
+
+// remove unlinks a queued event from wherever it lives and releases it.
+func (e *Engine) remove(ev *event) {
+	if ev.level == levelHeap {
+		heap.Remove(&e.over, int(ev.idx))
+	} else {
+		e.unlinkWheel(ev)
+	}
+	e.release(ev)
+}
+
+// lowestSlot returns the lowest occupied slot at level, or -1.
+func (e *Engine) lowestSlot(level int) int {
+	for w := range e.occ[level] {
+		if b := e.occ[level][w]; b != 0 {
+			return w*64 + bits.TrailingZeros64(b)
+		}
+	}
+	return -1
+}
+
 // Schedule arranges for fn to run at Now()+d. It returns a Timer that can
 // cancel the callback. Scheduling in the past panics.
 func (e *Engine) Schedule(d Duration, fn func()) *Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: schedule with negative delay %v", d))
 	}
-	e.seq++
-	ev := &event{t: e.now.Add(d), seq: e.seq, fn: fn}
-	heap.Push(&e.pq, ev)
-	return &Timer{ev: ev}
+	t := &Timer{e: e, fn: fn}
+	t.ev = e.armEvent(e.now.Add(d), fn)
+	t.gen = t.ev.gen
+	return t
 }
 
 // ScheduleAt arranges for fn to run at absolute time t (>= Now()).
@@ -144,61 +386,199 @@ func (e *Engine) ScheduleAt(t Time, fn func()) *Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at past time %d (now %d)", t, e.now))
 	}
-	return e.Schedule(t.Sub(e.now), fn)
+	tm := &Timer{e: e, fn: fn}
+	tm.ev = e.armEvent(t, fn)
+	tm.gen = tm.ev.gen
+	return tm
 }
 
-// Pending reports the number of events (including cancelled ones) queued.
-func (e *Engine) Pending() int { return e.pq.Len() }
+// AfterFunc arranges for fn to run at Now()+d with no cancellation handle —
+// the allocation-free choice for fire-and-forget callbacks.
+func (e *Engine) AfterFunc(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: schedule with negative delay %v", d))
+	}
+	e.armEvent(e.now.Add(d), fn)
+}
 
-func (e *Engine) step() bool {
-	for e.pq.Len() > 0 {
-		ev := heap.Pop(&e.pq).(*event)
-		if ev.cancelled {
+// AfterFuncAt is AfterFunc for an absolute deadline (>= Now()).
+func (e *Engine) AfterFuncAt(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at past time %d (now %d)", t, e.now))
+	}
+	e.armEvent(t, fn)
+}
+
+// Pending reports the number of live events queued. Cancelled timers are
+// unlinked at Stop time and never counted.
+func (e *Engine) Pending() int { return e.wheelLive + len(e.over) }
+
+// stepBounded fires the single earliest event if its time is <= bound,
+// advancing the clock to it. It reports whether an event fired. Along the
+// way it normalizes the queue: overflow events whose frame the clock has
+// entered move into the wheel, and higher-level slots cascade down — both
+// are relocations, not firings, and only ever advance the clock to frame
+// starts at or below the earliest event's time.
+func (e *Engine) stepBounded(bound Time) bool {
+	for {
+		if e.wheelLive == 0 {
+			if len(e.over) == 0 {
+				return false
+			}
+			top := e.over[0]
+			if top.t > bound {
+				return false
+			}
+			// Enter the heap top's top-level frame and pull in everything
+			// that shares it. (Monotonic: the frame start can trail now
+			// when the clock was advanced into the frame by RunUntil.)
+			if fs := top.t &^ (1<<(4*wheelBits) - 1); fs > e.now {
+				e.now = fs
+			}
+			for len(e.over) > 0 && e.over[0].t>>(4*wheelBits) == e.now>>(4*wheelBits) {
+				ev := heap.Pop(&e.over).(*event)
+				e.insert(ev)
+			}
 			continue
 		}
-		e.now = ev.t
-		ev.fn()
-		return true
+		if s := e.lowestSlot(0); s >= 0 {
+			// Every event in a level-0 slot shares one absolute time, and
+			// the list is seq-sorted, so the head is the global minimum.
+			ev := e.wheel[0][s].head
+			if ev.t > bound {
+				return false
+			}
+			e.unlinkWheel(ev)
+			e.now = ev.t
+			e.stats.Fired++
+			fn := ev.fn
+			e.release(ev)
+			fn()
+			return true
+		}
+		// Cascade the lowest occupied level one step down. All events in a
+		// level-k slot share the t>>(k*8) prefix, so after advancing the
+		// clock to that frame start they all reinsert at level k-1 or below.
+		for level := 1; level < wheelLevels; level++ {
+			s := e.lowestSlot(level)
+			if s < 0 {
+				continue
+			}
+			l := &e.wheel[level][s]
+			min := l.head
+			for ev := min.next; ev != nil; ev = ev.next {
+				if ev.t < min.t || (ev.t == min.t && ev.seq < min.seq) {
+					min = ev
+				}
+			}
+			if min.t > bound {
+				return false
+			}
+			shift := uint(level) * wheelBits
+			if fs := min.t &^ (1<<shift - 1); fs > e.now {
+				e.now = fs
+			}
+			head := l.head
+			l.head, l.tail = nil, nil
+			e.occ[level][s>>6] &^= 1 << (uint(s) & 63)
+			for ev := head; ev != nil; {
+				next := ev.next
+				ev.prev, ev.next = nil, nil
+				e.wheelLive--
+				e.insert(ev)
+				ev = next
+			}
+			break
+		}
 	}
-	return false
 }
 
 // Run processes events until none remain. Procs blocked with no pending
 // wakeup are left parked (use Shutdown to release their goroutines).
 func (e *Engine) Run() {
-	for e.step() {
+	e.bound = Time(math.MaxInt64)
+	for e.stepBounded(e.bound) {
+	}
+}
+
+// advanceTo moves the clock forward to t without firing anything. The caller
+// has drained everything at or before t, so every queued event is later — but
+// wheel levels were assigned relative to the old clock. Any slot whose frame
+// the clock just entered must re-level (and overflow events whose top-level
+// frame the clock entered must join the wheel), or a later cascade of a lower
+// level would step past them and they would never fire.
+func (e *Engine) advanceTo(t Time) {
+	if t <= e.now {
+		return
+	}
+	e.now = t
+	for level := wheelLevels - 1; level >= 1; level-- {
+		shift := uint(level) * wheelBits
+		s := uint8((t >> shift) & wheelMask)
+		l := &e.wheel[level][s]
+		if l.head == nil || l.head.t>>shift != t>>shift {
+			continue
+		}
+		head := l.head
+		l.head, l.tail = nil, nil
+		e.occ[level][s>>6] &^= 1 << (s & 63)
+		for ev := head; ev != nil; {
+			next := ev.next
+			ev.prev, ev.next = nil, nil
+			e.wheelLive--
+			e.insert(ev)
+			ev = next
+		}
+	}
+	for len(e.over) > 0 && e.over[0].t>>(4*wheelBits) == t>>(4*wheelBits) {
+		e.insert(heap.Pop(&e.over).(*event))
 	}
 }
 
 // RunUntil processes events with time <= t, then advances the clock to t.
 func (e *Engine) RunUntil(t Time) {
-	for {
-		for e.pq.Len() > 0 && e.pq[0].cancelled {
-			heap.Pop(&e.pq)
-		}
-		if e.pq.Len() == 0 || e.pq[0].t > t {
-			break
-		}
-		e.step()
+	e.bound = t
+	for e.stepBounded(t) {
 	}
-	if e.now < t {
-		e.now = t
-	}
+	e.advanceTo(t)
 }
 
 // RunFor processes events for d of virtual time from now.
 func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 
-// runProc transfers control to p until it yields or exits.
+// runProc transfers control to p until it yields or exits. The event loop
+// migrates with the control transfer: the calling goroutine — the current
+// loop runner — wakes p (which takes over stepping events when it next
+// yields) and parks until its own proc is resumed. When the runner fires its
+// own resume event, the transfer is a plain return with no goroutine switch:
+// the runner unwinds out of its yield loop back into its body.
 func (e *Engine) runProc(p *Proc) {
 	if p.done {
 		return
 	}
-	prev := e.cur
+	r := e.runner
+	p.resumed = true
 	e.cur = p
-	p.resume <- struct{}{}
-	<-p.parked
-	e.cur = prev
+	if r == p {
+		return
+	}
+	e.runner = p
+	p.token <- struct{}{}
+	if r == nil {
+		// Driver goroutine: park until a runner hands the loop back (bound
+		// exhausted, or a proc exited while holding it), then keep stepping.
+		<-e.driverCh
+		e.runner = nil
+		e.cur = nil
+	} else {
+		// Proc goroutine: park until r itself is resumed — or killed, in
+		// which case unwind without touching engine state (the killer is
+		// the active goroutine).
+		<-r.token
+		if r.killed {
+			panic(procKilled{})
+		}
+	}
 }
 
 // Cur returns the currently running Proc, or nil when in plain event context.
@@ -212,7 +592,7 @@ func (e *Engine) Shutdown() {
 			continue
 		}
 		p.killed = true
-		p.resume <- struct{}{}
-		<-p.parked
+		p.token <- struct{}{}
+		<-p.endAck
 	}
 }
