@@ -19,6 +19,12 @@
 // re-checked with exactly that allowance — anything beyond it is still a
 // violation.
 //
+// With -coll an mpi world rides on the same cluster running continuous
+// small-vector allreduce rounds, so the collective engine's tag matching and
+// fault-abort path soak under the same loss, churn, and crash schedule as
+// the raw AM traffic. The invariant is no-hang: every rank either completes
+// its rounds or (when the plan crashes a node) surfaces ErrUnreachable.
+//
 // Usage: vnstress [-seed N] [-nodes N] [-duration D-sim-seconds] [-drop P]
 //
 // -cpuprofile and -memprofile write runtime/pprof profiles of the soak run
@@ -33,10 +39,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"virtnet/internal/coll"
 	"virtnet/internal/core"
 	"virtnet/internal/fault"
 	"virtnet/internal/hostos"
 	"virtnet/internal/migrate"
+	"virtnet/internal/mpi"
 	"virtnet/internal/netsim"
 	"virtnet/internal/nic"
 	"virtnet/internal/sim"
@@ -51,6 +59,7 @@ var (
 	swap       = flag.Bool("swap", true, "hot-swap a spine switch during the run")
 	migr       = flag.Bool("migrate", true, "live-migrate peer endpoints during the run")
 	faultplan  = flag.String("faultplan", "", "scripted fault schedule (internal/fault syntax), e.g. link:3-7@0.2s+0.5s,crash:node9@1s")
+	collOn     = flag.Bool("coll", false, "soak the collective engine with continuous allreduce rounds")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
@@ -199,6 +208,57 @@ func main() {
 				if pr.ep.Poll(p) == 0 {
 					p.Sleep(50 * sim.Microsecond)
 				}
+			}
+		})
+	}
+
+	// Collective soak: an mpi world on the same nodes runs small allreduce
+	// rounds back to back for the whole load window. Rounds use the Auto
+	// selector, so this exercises the binomial tree under the same drops,
+	// swaps, and crashes as the raw AM mesh. A fault-plan crash must abort
+	// the survivors with ErrUnreachable — never hang them.
+	var collW *mpi.World
+	var collRounds int64
+	var collAborts int64
+	var collDone []bool
+	if *collOn {
+		w, err := mpi.NewWorld(cl, *nodes, nil)
+		if err != nil {
+			fatal("coll world: %v", err)
+		}
+		collW = w
+		collDone = make([]bool, *nodes)
+		w.Launch(func(p *sim.Proc, cm *mpi.Comm) {
+			defer func() { collDone[cm.Rank()] = true }()
+			vec := make([]float64, 64)
+			for i := 1; i < len(vec); i++ {
+				vec[i] = float64(cm.Rank() + i)
+			}
+			for {
+				// Termination must itself be a collective decision: ranks
+				// checking the clock independently can disagree on whether
+				// round k+1 happens and strand each other in Recv. Rank 0
+				// decides, and the verdict rides in element 0 of the round's
+				// own result, so every rank breaks after the same round.
+				vec[0] = 0
+				if cm.Rank() == 0 && p.Now() < stopAt {
+					vec[0] = 1
+				}
+				out, err := cm.AllreduceAlg(p, vec, mpi.OpSum, coll.Auto)
+				if err != nil {
+					if errors.Is(err, mpi.ErrUnreachable) {
+						collAborts++
+						return
+					}
+					fatal("coll rank %d: %v", cm.Rank(), err)
+				}
+				if out[0] == 0 {
+					return
+				}
+				if cm.Rank() == 0 {
+					collRounds++
+				}
+				p.Sleep(2 * sim.Millisecond)
 			}
 		})
 	}
@@ -458,6 +518,30 @@ func main() {
 		}
 		fmt.Printf("migrations: %d live moves; %d redirects absorbed, %d translation refreshes\n",
 			moves, redirects, refreshes)
+	}
+	if collW != nil {
+		// No-hang invariant: give any in-flight round bounded time to land,
+		// then every rank must have exited — completed or aborted — unless
+		// its own node crashed (its proc dies with the node).
+		for i := 0; i < 5000; i++ {
+			alive := 0
+			for r := 0; r < *nodes; r++ {
+				if !collDone[r] && !cl.Nodes[r].Crashed() {
+					alive++
+				}
+			}
+			if alive == 0 {
+				break
+			}
+			cl.E.RunFor(sim.Millisecond)
+		}
+		for r := 0; r < *nodes; r++ {
+			if !collDone[r] && !cl.Nodes[r].Crashed() {
+				fatal("INVARIANT VIOLATION: coll rank %d hung in allreduce", r)
+			}
+		}
+		fmt.Printf("collectives: %d allreduce rounds, %d fault aborts, dead ranks %v\n",
+			collRounds, collAborts, collW.DeadRanks())
 	}
 	fmt.Printf("endpoint remaps across cluster: %d; final sim time %v\n",
 		remaps, sim.Duration(cl.E.Now()))

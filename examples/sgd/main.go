@@ -1,0 +1,40 @@
+// SGD: data-parallel training over virtual networks. Sixteen ranks each
+// hold a replica of a small model; every step they compute per-bucket
+// gradients and average them with a ring allreduce. The demo runs the same
+// workload twice — compute-then-reduce, and with a per-rank communication
+// thread reducing bucket b while bucket b+1 is still computing — and prints
+// how much of the gradient exchange the overlap hides. This is the
+// NCCL-style usage pattern the collective engine in internal/coll targets.
+package main
+
+import (
+	"fmt"
+
+	"virtnet/internal/bench"
+	"virtnet/internal/sim"
+)
+
+func main() {
+	cfg := bench.SGDConfig{
+		Nodes:   16,
+		Params:  1 << 17, // 1 MB of float64 gradients per replica
+		Buckets: 8,
+		Iters:   4,
+		Compute: 8 * sim.Millisecond,
+		Seed:    7,
+	}
+	fmt.Printf("data-parallel SGD: %d ranks, %d params in %d buckets, %d iterations\n",
+		cfg.Nodes, cfg.Params, cfg.Buckets, cfg.Iters)
+
+	res := bench.RunSGD(cfg)
+	if !res.OK {
+		fmt.Println("run failed")
+		return
+	}
+	fmt.Printf("sequential schedule: %v (rank 0 spent %v communicating)\n",
+		res.Sequential, res.CommSeq)
+	fmt.Printf("overlapped schedule: %v (rank 0 spent %v communicating)\n",
+		res.Overlapped, res.CommOvl)
+	saved := float64(res.Sequential-res.Overlapped) / float64(res.Sequential) * 100
+	fmt.Printf("bucketed allreduce behind compute hides %.1f%% of the step\n", saved)
+}

@@ -200,7 +200,13 @@ type Endpoint struct {
 
 	handlers [NumHandlers]Handler
 	onReturn ReturnHandler
-	trans    []translation
+	// waitAbort, when set, is consulted on every iteration of the blocking
+	// flow-control waits (credit window in Request, send-queue space in the
+	// descriptor post). A non-nil result abandons the wait and surfaces as
+	// the operation's error — the hook that lets a message-passing layer
+	// abort ranks blocked against a crashed peer instead of spinning forever.
+	waitAbort func() error
+	trans     []translation
 	// msgSeq assigns the end-to-end message id per destination endpoint id
 	// (exactly-once dedup across channel rebinds). Keyed by the globally
 	// unique endpoint id, not the name, so the sequence survives the
@@ -265,6 +271,13 @@ func (ep *Endpoint) SetHandler(i int, h Handler) error {
 
 // SetReturnHandler installs the undeliverable-message handler.
 func (ep *Endpoint) SetReturnHandler(h ReturnHandler) { ep.onReturn = h }
+
+// SetWaitAbort installs a predicate polled inside the blocking flow-control
+// waits. When it returns a non-nil error the blocked operation gives up and
+// returns that error instead of waiting for window space that may never
+// open (e.g. the peer crashed and its credits are gone for good). Pass nil
+// to clear.
+func (ep *Endpoint) SetWaitAbort(f func() error) { ep.waitAbort = f }
 
 // Map installs (name, key) at translation table index idx, establishing
 // addressability to that endpoint with an initial credit window equal to
@@ -378,6 +391,11 @@ func (ep *Endpoint) request(p *sim.Proc, idx, h int, args [4]uint64, payload []b
 			// settled by the state transfer.
 			return ErrMoved
 		}
+		if ep.waitAbort != nil {
+			if err := ep.waitAbort(); err != nil {
+				return err
+			}
+		}
 		if ep.pollOnce(p) == 0 {
 			p.Sleep(wait)
 			if wait < 100*sim.Microsecond {
@@ -454,6 +472,11 @@ func (ep *Endpoint) post(p *sim.Proc, dstNode netsim.NodeID, dstEP int, key Key,
 	for sq.Full() {
 		if ep.moved && !isReply {
 			return ErrMoved
+		}
+		if ep.waitAbort != nil && !isReply {
+			if err := ep.waitAbort(); err != nil {
+				return err
+			}
 		}
 		// The NI drains the queue; polling meanwhile keeps replies moving.
 		if ep.pollOnce(p) == 0 {

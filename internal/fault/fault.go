@@ -292,7 +292,7 @@ func (pl *Plan) Apply(c *hostos.Cluster) {
 				c.E.Schedule(ev.At+ev.Dur, func() { net.SetSpineDown(s, false) })
 			}
 		case UplinkDown:
-			l := mod(ev.A, net.NumLeaves())
+			l := mod(ev.A, net.Leaves())
 			s := mod(ev.B, cfg.Spines)
 			c.E.Schedule(ev.At, func() { net.SetUplinkDown(l, s, true) })
 			if ev.Dur > 0 {
@@ -305,7 +305,7 @@ func (pl *Plan) Apply(c *hostos.Cluster) {
 				c.E.Schedule(ev.At+ev.Dur, func() { net.SetHostLinkDown(h, false) })
 			}
 		case LeafDown:
-			l := mod(ev.A, net.NumLeaves())
+			l := mod(ev.A, net.Leaves())
 			c.E.Schedule(ev.At, func() { net.SetLeafDown(l, true) })
 			if ev.Dur > 0 {
 				c.E.Schedule(ev.At+ev.Dur, func() { net.SetLeafDown(l, false) })

@@ -12,6 +12,7 @@ package mpi
 import (
 	"fmt"
 
+	"virtnet/internal/coll"
 	"virtnet/internal/core"
 	"virtnet/internal/hostos"
 	"virtnet/internal/nic"
@@ -20,8 +21,10 @@ import (
 
 // Handler indices on the rank endpoints.
 const (
-	hFrag    = 1 // message fragment
-	hFragAck = 2 // fragment reply (credit return)
+	hFrag     = 1 // message fragment
+	hFragAck  = 2 // fragment reply (credit return)
+	hProbe    = 3 // liveness probe (no-op request)
+	hProbeAck = 4 // probe reply: the probed rank is alive
 )
 
 // AnyTag matches any tag in Recv.
@@ -62,6 +65,18 @@ type Comm struct {
 	nextDeliver map[int]uint64
 	complete    []*inMsg
 
+	// nacks counts, per destination rank, consecutive fragments returned
+	// with the transport's retries exhausted; crossing maxReissues declares
+	// the destination dead. Receiving anything from a rank clears its count.
+	nacks map[int]int
+	// inColl is non-zero while a delegated collective is in flight; it arms
+	// the abort-on-dead-peer checks in Recv and in core's blocking waits.
+	inColl int
+
+	// CollAlg selects the algorithm delegated collectives use (coll.Auto —
+	// the size heuristic — unless overridden).
+	CollAlg coll.Algorithm
+
 	// Bytes counts payload bytes sent (for workload accounting).
 	BytesSent int64
 	// Reissues counts fragments re-sent after being returned undeliverable.
@@ -74,6 +89,9 @@ type World struct {
 	Cluster *hostos.Cluster
 	comms   []*Comm
 	running int
+	// dead is the set of ranks declared permanently unreachable (shared by
+	// all ranks so one rank's discovery aborts everyone's collectives).
+	dead map[int]bool
 }
 
 // NewWorld creates an n-rank world with rank i on cluster node nodes[i]
@@ -108,6 +126,7 @@ func NewWorld(c *hostos.Cluster, n int, nodes []int) (*World, error) {
 			partials:    make(map[partialKey]*partial),
 			stash:       make(map[partialKey]*inMsg),
 			nextDeliver: make(map[int]uint64),
+			nacks:       make(map[int]int),
 		}
 		w.comms = append(w.comms, cm)
 	}
@@ -178,6 +197,7 @@ func (c *Comm) install() {
 			pt = &partial{tag: tag, data: make([]byte, total), total: total}
 			c.partials[k] = pt
 		}
+		delete(c.nacks, src) // traffic from src proves it alive
 		copy(pt.data[offset:], payload)
 		pt.got += len(payload)
 		if pt.got >= pt.total {
@@ -188,11 +208,42 @@ func (c *Comm) install() {
 		tok.Reply(p, hFragAck, [4]uint64{})
 	})
 	c.ep.SetHandler(hFragAck, func(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte) {})
+	// Liveness probes: a rank blocked in a collective receive sends these
+	// toward the awaited source, so the return-to-sender machinery produces
+	// a verdict even when the blocked rank has no data in flight toward the
+	// suspect (a reduce tree's parent only *receives* from its children).
+	c.ep.SetHandler(hProbe, func(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte) {
+		tok.Reply(p, hProbeAck, args)
+	})
+	c.ep.SetHandler(hProbeAck, func(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte) {
+		delete(c.nacks, int(args[0])) // the probed rank answered: alive
+	})
 	// Undeliverable fragments (returned after prolonged transport failure,
-	// §3.2) are re-issued: message passing promises reliable delivery.
-	c.ep.SetReturnHandler(func(p *sim.Proc, _ nic.NackReason, dstIdx, h int, args [4]uint64, payload []byte) {
-		if h != hFrag || dstIdx < 0 {
+	// §3.2) are re-issued: message passing promises reliable delivery —
+	// within a bounded budget. A permanent verdict (endpoint gone, key
+	// revoked) or an exhausted budget of retries-exhausted returns declares
+	// the destination rank dead instead of retrying forever; transient
+	// verdicts (not resident, receive overrun) re-issue without limit.
+	c.ep.SetReturnHandler(func(p *sim.Proc, reason nic.NackReason, dstIdx, h int, args [4]uint64, payload []byte) {
+		if (h != hFrag && h != hProbe) || dstIdx < 0 {
 			return
+		}
+		if c.w.dead[dstIdx] {
+			return // already declared dead; drop
+		}
+		switch reason {
+		case nic.NackNoEndpoint, nic.NackBadKey:
+			c.w.markDead(dstIdx)
+			return
+		case nic.NackNone: // the NI's full retry schedule came up empty
+			c.nacks[dstIdx]++
+			if c.nacks[dstIdx] > maxReissues {
+				c.w.markDead(dstIdx)
+				return
+			}
+		}
+		if h == hProbe {
+			return // probes are not re-issued; the receive loop sends more
 		}
 		c.Reissues++
 		if len(payload) == 0 {
@@ -200,6 +251,14 @@ func (c *Comm) install() {
 			return
 		}
 		c.ep.RequestBulk(p, dstIdx, hFrag, payload, args)
+	})
+	// Abort core's flow-control waits when a collective can no longer
+	// complete: blocked credit windows against a crashed peer never reopen.
+	c.ep.SetWaitAbort(func() error {
+		if c.inColl > 0 && len(c.w.dead) > 0 {
+			return c.deadErr()
+		}
+		return nil
 	})
 }
 
@@ -252,6 +311,27 @@ func (c *Comm) Send(p *sim.Proc, dst, tag int, data []byte) error {
 	return nil
 }
 
+// probeAfter is how long a collective receive stays silently blocked before
+// it starts probing the awaited source for liveness. Collectives pass data
+// in ms-scale steps, so a multi-hundred-ms silent stall is the signature of
+// a dead peer, not a slow one.
+const probeAfter = 250 * sim.Millisecond
+
+// probe nudges the return-to-sender machinery toward src: a no-op request
+// that either comes back acknowledged (src alive, nack budget reset) or
+// returns undeliverable and feeds the death classification in the return
+// handler. Skipped when no credit toward src is free — in-flight data
+// already provides the same signal.
+func (c *Comm) probe(p *sim.Proc, src int) {
+	if src == c.rank || src < 0 || src >= c.Size() || c.w.dead[src] {
+		return
+	}
+	if c.ep.Credits(src) <= 0 {
+		return
+	}
+	c.ep.Request(p, src, hProbe, [4]uint64{uint64(src)})
+}
+
 // Recv blocks until a message from src with a matching tag (or AnyTag)
 // arrives, and returns its payload. A zero-length message returns an empty
 // (non-nil) slice.
@@ -259,6 +339,7 @@ func (c *Comm) Recv(p *sim.Proc, src, tag int) ([]byte, error) {
 	t0 := p.Now()
 	defer func() { c.CommTime += p.Now().Sub(t0) }()
 	wait := sim.Microsecond
+	nextProbe := p.Now().Add(probeAfter)
 	for {
 		for i, m := range c.complete {
 			if m.src == src && (tag == AnyTag || m.tag == tag) {
@@ -268,6 +349,22 @@ func (c *Comm) Recv(p *sim.Proc, src, tag int) ([]byte, error) {
 				}
 				return m.data, nil
 			}
+		}
+		// Nothing matched yet: give up rather than hang if the wait can no
+		// longer be satisfied — the source rank is dead, or any rank died
+		// while this one is inside a collective (whose completion depends
+		// transitively on every rank).
+		if len(c.w.dead) > 0 {
+			if c.inColl > 0 {
+				return nil, c.deadErr()
+			}
+			if c.w.dead[src] {
+				return nil, fmt.Errorf("mpi: recv from rank %d: %w", src, ErrUnreachable)
+			}
+		}
+		if c.inColl > 0 && p.Now() >= nextProbe {
+			c.probe(p, src)
+			nextProbe = p.Now().Add(probeAfter)
 		}
 		if c.ep.Poll(p) == 0 {
 			p.Sleep(wait)
@@ -380,21 +477,13 @@ func (c *Comm) Reduce(p *sim.Proc, root int, vec []float64, op func(a, b float64
 	return acc, nil
 }
 
-// Allreduce is Reduce to rank 0 followed by Bcast.
+// Allreduce combines per-rank vectors elementwise on every rank. It
+// delegates to the collective engine (internal/coll): small vectors keep the
+// historical binomial reduce+bcast schedule, large ones switch to
+// bandwidth-optimal pipelined algorithms (Rabenseifner, topology-aware
+// ring). Set CollAlg (or call AllreduceAlg) to pin an algorithm.
 func (c *Comm) Allreduce(p *sim.Proc, vec []float64, op func(a, b float64) float64) ([]float64, error) {
-	acc, err := c.Reduce(p, 0, vec, op)
-	if err != nil {
-		return nil, err
-	}
-	var raw []byte
-	if c.rank == 0 {
-		raw = encodeF64(acc)
-	}
-	raw, err = c.Bcast(p, 0, raw)
-	if err != nil {
-		return nil, err
-	}
-	return decodeF64(raw), nil
+	return c.AllreduceAlg(p, vec, op, c.CollAlg)
 }
 
 // Alltoall exchanges bufs[i] with every rank i and returns the received

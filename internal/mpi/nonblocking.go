@@ -68,6 +68,9 @@ func (r *Request) Wait(p *sim.Proc) ([]byte, error) {
 		if r.Test(p) {
 			break
 		}
+		if r.recv && r.c.w.dead[r.src] {
+			return nil, fmt.Errorf("mpi: recv from rank %d: %w", r.src, ErrUnreachable)
+		}
 		p.Sleep(wait)
 		if wait < 100*sim.Microsecond {
 			wait *= 2
@@ -146,22 +149,10 @@ func (c *Comm) Allgather(p *sim.Proc, data []byte) ([][]byte, error) {
 
 // ReduceScatter combines per-rank vectors elementwise with op, then leaves
 // rank i with block i of the result (blocks split as evenly as possible).
+// It delegates to the collective engine's ring reduce-scatter, so each rank
+// moves O(len/n) per step instead of materializing the full Allreduce.
 func (c *Comm) ReduceScatter(p *sim.Proc, vec []float64, op func(a, b float64) float64) ([]float64, error) {
-	full, err := c.Allreduce(p, vec, op)
-	if err != nil {
-		return nil, err
-	}
-	n := c.Size()
-	per := (len(full) + n - 1) / n
-	lo := c.rank * per
-	hi := lo + per
-	if lo > len(full) {
-		lo = len(full)
-	}
-	if hi > len(full) {
-		hi = len(full)
-	}
-	return full[lo:hi], nil
+	return c.ReduceScatterAlg(p, vec, op, c.CollAlg)
 }
 
 const (

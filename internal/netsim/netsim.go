@@ -543,8 +543,24 @@ func (n *Network) SetLeafDown(l int, down bool) {
 	}
 }
 
-// NumLeaves reports the number of leaf switches.
-func (n *Network) NumLeaves() int { return n.nleaves }
+// ---- Locality API ----
+//
+// The two-level fat tree makes host locality a first-class scheduling input:
+// same-leaf pairs communicate over a single switch hop and never touch the
+// spines, while inter-leaf traffic crosses two uplinks and competes for
+// bisection bandwidth. Communication layers (internal/coll) use these
+// accessors to place ring neighbors under the same leaf switch and to build
+// hierarchical (leaf-local, then cross-spine) collective schedules.
+
+// LeafOf returns the index of the leaf switch host h hangs from.
+func (n *Network) LeafOf(h NodeID) int { return n.leafOf(h) }
+
+// SameLeaf reports whether hosts a and b share a leaf switch (their traffic
+// never crosses a spine).
+func (n *Network) SameLeaf(a, b NodeID) bool { return n.leafOf(a) == n.leafOf(b) }
+
+// Leaves reports the number of leaf switches.
+func (n *Network) Leaves() int { return n.nleaves }
 
 // startGE attaches a fresh Gilbert–Elliott process to L and schedules its
 // state transitions as engine events (exponentially distributed sojourns

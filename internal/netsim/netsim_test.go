@@ -321,3 +321,40 @@ func TestGatePreservesFIFO(t *testing.T) {
 		}
 	}
 }
+
+func TestLocalityAPI(t *testing.T) {
+	// Pin the default 100-host mapping: 20 leaves of 5 consecutive hosts.
+	_, n := build(t, 100)
+	if n.Leaves() != 20 {
+		t.Fatalf("Leaves() = %d, want 20", n.Leaves())
+	}
+	for h := 0; h < 100; h++ {
+		if got, want := n.LeafOf(NodeID(h)), h/5; got != want {
+			t.Fatalf("LeafOf(%d) = %d, want %d", h, got, want)
+		}
+	}
+	cases := []struct {
+		a, b NodeID
+		same bool
+	}{
+		{0, 4, true},   // both under leaf 0
+		{0, 5, false},  // leaf boundary
+		{4, 5, false},  // adjacent hosts, different leaves
+		{95, 99, true}, // last leaf
+		{7, 7, true},   // identity
+		{99, 0, false}, // extremes
+	}
+	for _, c := range cases {
+		if got := n.SameLeaf(c.a, c.b); got != c.same {
+			t.Fatalf("SameLeaf(%d, %d) = %v, want %v", c.a, c.b, got, c.same)
+		}
+	}
+	// A partial last leaf still maps every host to a valid leaf.
+	_, odd := build(t, 13)
+	if odd.Leaves() != 3 {
+		t.Fatalf("13 hosts: Leaves() = %d, want 3", odd.Leaves())
+	}
+	if odd.LeafOf(12) != 2 || !odd.SameLeaf(10, 12) || odd.SameLeaf(9, 10) {
+		t.Fatalf("partial leaf mapping wrong: LeafOf(12)=%d", odd.LeafOf(12))
+	}
+}
