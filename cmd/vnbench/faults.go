@@ -377,8 +377,9 @@ func runFaults() {
 		fmt.Printf("live migration under recovery load: %d -> %d, blackout %v, %d bytes\n",
 			nodeA, moveDst, moveStats.Blackout, moveStats.Bytes)
 	}
-	// Per-link loss attribution for the faulted elements.
-	fmt.Printf("lossy links:\n%s", indent(c.Net.LinkStats(true)))
+	// Per-link loss attribution for the faulted elements, from the
+	// structured per-link counters.
+	fmt.Printf("lossy links:\n%s", indent(netsim.RenderLinkCounters(c.Net.PerLinkCounters(), true)))
 }
 
 func indent(s string) string {

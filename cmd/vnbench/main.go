@@ -15,12 +15,16 @@
 //	vnbench faults            ext.    fault injection + automated recovery
 //	vnbench simperf           ext.    event-engine self-benchmark
 //	vnbench allreduce         ext.    collective algorithm sweep + SGD overlap
+//	vnbench breakdown         §4      per-stage latency decomposition via tracing
 //	vnbench all               everything above
 //
 // Use -quick for smaller client sweeps and shorter windows. The golden
 // results_*.txt files capture stdout only; simperf's machine-dependent
 // wall-clock section goes to stderr. -cpuprofile/-memprofile write pprof
-// profiles for diagnosing simulator-performance regressions.
+// profiles for diagnosing simulator-performance regressions. -traceout
+// exports the breakdown experiment's short-AM phase as Chrome trace-event
+// JSON (load it at https://ui.perfetto.dev); -metrics prints the unified
+// registry's dashboard after instrumented experiments.
 package main
 
 import (
@@ -49,6 +53,8 @@ var (
 	seed       = flag.Int64("seed", 1, "simulation seed")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceout   = flag.String("traceout", "", "write a Perfetto-compatible trace of the breakdown short-AM phase to this file")
+	metrics    = flag.Bool("metrics", false, "print metrics-registry dashboards after instrumented experiments")
 )
 
 func main() {
@@ -98,11 +104,12 @@ func main() {
 		"faults":           runFaults,
 		"simperf":          runSimPerf,
 		"allreduce":        runAllreduce,
+		"breakdown":        runBreakdown,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"logp", "bandwidth", "npb", "contention-small",
 			"contention-bulk", "linpack", "timeshare", "overcommit", "ablations",
-			"sensitivity", "migrate", "faults", "simperf", "allreduce"} {
+			"sensitivity", "migrate", "faults", "simperf", "allreduce", "breakdown"} {
 			cmds[name]()
 		}
 		return

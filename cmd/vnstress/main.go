@@ -25,6 +25,11 @@
 // the raw AM traffic. The invariant is no-hang: every rank either completes
 // its rounds or (when the plan crashes a node) surfaces ErrUnreachable.
 //
+// With -dash the unified metrics registry prints a dashboard of every
+// layer's counters and gauges each 100 ms of simulated time (deltas against
+// the previous snapshot included). The dashboard is observability-only: it
+// never perturbs the simulation, so outputs with and without it agree.
+//
 // Usage: vnstress [-seed N] [-nodes N] [-duration D-sim-seconds] [-drop P]
 //
 // -cpuprofile and -memprofile write runtime/pprof profiles of the soak run
@@ -46,6 +51,7 @@ import (
 	"virtnet/internal/migrate"
 	"virtnet/internal/mpi"
 	"virtnet/internal/netsim"
+	"virtnet/internal/obs"
 	"virtnet/internal/nic"
 	"virtnet/internal/sim"
 )
@@ -60,6 +66,7 @@ var (
 	migr       = flag.Bool("migrate", true, "live-migrate peer endpoints during the run")
 	faultplan  = flag.String("faultplan", "", "scripted fault schedule (internal/fault syntax), e.g. link:3-7@0.2s+0.5s,crash:node9@1s")
 	collOn     = flag.Bool("coll", false, "soak the collective engine with continuous allreduce rounds")
+	dash       = flag.Bool("dash", false, "print the unified metrics dashboard every 100 ms of simulated time")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
@@ -114,6 +121,14 @@ func main() {
 	cfg.NIC.Frames = 8
 	cl := hostos.NewCluster(*seed, *nodes, cfg)
 	defer cl.Shutdown()
+
+	// Metrics-only observability (no flight recorder, no PRNG draw): the
+	// soak's own outputs stay byte-identical whether or not the dashboard is
+	// on, so -dash never interferes with determinism comparisons.
+	var dashObs *obs.Obs
+	if *dash {
+		dashObs = cl.EnableObs(obs.Options{SnapshotEvery: 100 * sim.Millisecond})
+	}
 
 	if *faultplan != "" {
 		pl, err := fault.Parse(*faultplan)
@@ -405,8 +420,13 @@ func main() {
 	}
 	lastSig := signature()
 	lastChange := cl.E.Now()
+	lastDash := cl.E.Now()
 	for cl.E.Now() < limit {
 		cl.E.RunFor(10 * sim.Millisecond)
+		if dashObs != nil && cl.E.Now().Sub(lastDash) >= 100*sim.Millisecond {
+			fmt.Print(dashObs.R.Dashboard())
+			lastDash = cl.E.Now()
+		}
 		if sig := signature(); sig != lastSig {
 			lastSig, lastChange = sig, cl.E.Now()
 		}

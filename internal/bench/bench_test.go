@@ -155,6 +155,52 @@ func TestVIAPressure(t *testing.T) {
 	}
 }
 
+// BenchmarkSimPerfTraceOff is the observability overhead guard's baseline:
+// the full request/reply hot path with no obs layer installed. Every
+// instrumentation site must degenerate to a nil check here, so ns/op and
+// allocs/op (CI records both via ReportAllocs) must stay at the
+// pre-observability level.
+func BenchmarkSimPerfTraceOff(b *testing.B) {
+	benchSimPerf(b, 0)
+}
+
+// BenchmarkSimPerfTraceOn runs the same workload with the flight recorder
+// sampling every message — the worst-case tracing cost, for comparison
+// against the TraceOff baseline.
+func BenchmarkSimPerfTraceOn(b *testing.B) {
+	benchSimPerf(b, 1)
+}
+
+func benchSimPerf(b *testing.B, traceSample int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := RunSimPerf(SimPerfConfig{Pairs: 4, Msgs: 2000, Seed: 1, TraceSample: traceSample})
+		if res.Replied != 4*2000 {
+			b.Fatalf("replied %d, want %d", res.Replied, 4*2000)
+		}
+		b.ReportMetric(float64(res.Mallocs)/float64(res.Replied), "mallocs/msg")
+	}
+}
+
+// TestTracingDisabledAllocBudget pins the disabled-path allocation cost:
+// with no obs layer the whole stack must stay within the historical
+// per-message malloc budget (~4 with pooling; headroom to 6 covers runtime
+// noise). A regression here means an instrumentation site allocates even
+// when tracing is off.
+func TestTracingDisabledAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simperf run is slow")
+	}
+	res := RunSimPerf(SimPerfConfig{Pairs: 4, Msgs: 5000, Seed: 1})
+	if res.Replied != 4*5000 {
+		t.Fatalf("replied %d, want %d", res.Replied, 4*5000)
+	}
+	perMsg := float64(res.Mallocs) / float64(res.Replied)
+	if perMsg > 6.0 {
+		t.Fatalf("tracing-disabled path allocates %.2f mallocs/msg, budget 6.0", perMsg)
+	}
+}
+
 func TestDeterministicResults(t *testing.T) {
 	if testing.Short() {
 		t.Skip("contention run is slow")

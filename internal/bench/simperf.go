@@ -7,6 +7,7 @@ import (
 
 	"virtnet/internal/core"
 	"virtnet/internal/hostos"
+	"virtnet/internal/obs"
 	"virtnet/internal/sim"
 )
 
@@ -18,6 +19,10 @@ type SimPerfConfig struct {
 	Pairs int // client/server pairs; the cluster has 2*Pairs nodes
 	Msgs  int // requests per client
 	Seed  int64
+	// TraceSample, when > 0, enables the obs flight recorder at 1-in-N
+	// sampling over the same workload. 0 leaves observability entirely off —
+	// the baseline hot path the overhead-guard benchmarks compare against.
+	TraceSample int
 }
 
 // SimPerfResult separates deterministic virtual-time metrics (safe to golden)
@@ -47,6 +52,9 @@ func RunSimPerf(cfg SimPerfConfig) SimPerfResult {
 	}
 	cl := hostos.NewCluster(cfg.Seed, 2*cfg.Pairs, hostos.DefaultClusterConfig())
 	defer cl.Shutdown()
+	if cfg.TraceSample > 0 {
+		cl.EnableObs(obs.Options{SampleEvery: cfg.TraceSample})
+	}
 
 	type pairState struct {
 		got    int

@@ -25,7 +25,9 @@ import (
 	"virtnet/internal/hostos"
 	"virtnet/internal/netsim"
 	"virtnet/internal/nic"
+	"virtnet/internal/obs"
 	"virtnet/internal/sim"
+	"virtnet/internal/trace"
 )
 
 // NumHandlers is the size of each endpoint's handler table.
@@ -130,11 +132,22 @@ type Bundle struct {
 	// cfg caches the node's NI configuration (immutable after NI creation)
 	// so per-message cost lookups don't copy the whole struct each time.
 	cfg nic.Config
+	// tracer and C come from the node's observability layer when one was
+	// enabled before this bundle attached; both stay nil otherwise, which
+	// keeps every per-message hook a plain nil check.
+	tracer *obs.Tracer
+	C      *trace.Counters
 }
 
 // Attach opens a bundle on node.
 func Attach(node *hostos.Node) *Bundle {
-	return &Bundle{Node: node, cond: sim.NewCond(node.E), cfg: node.NIC.Config()}
+	b := &Bundle{Node: node, cond: sim.NewCond(node.E), cfg: node.NIC.Config()}
+	if o := node.Obs; o != nil {
+		b.tracer = o.T
+		b.C = trace.NewCounters()
+		o.R.AddCounters(fmt.Sprintf("core.n%d", int(node.ID)), b.C)
+	}
+	return b
 }
 
 // Endpoints returns the bundle's endpoints.
@@ -197,6 +210,10 @@ type Endpoint struct {
 	// tokens are only valid during the handler, so one per nesting level
 	// suffices and only deeper levels allocate.
 	tok0 Token
+	// curTrace is the trace id of the flight whose handler is currently
+	// running; posts issued inside the handler (replies, forwarded
+	// requests) join that trace as child spans.
+	curTrace uint64
 
 	handlers [NumHandlers]Handler
 	onReturn ReturnHandler
@@ -384,6 +401,9 @@ func (ep *Endpoint) request(p *sim.Proc, idx, h int, args [4]uint64, payload []b
 	// Credit-based flow control: block while the window is closed,
 	// polling so replies (which restore credits) are consumed. The probe
 	// interval backs off while nothing arrives so long waits stay cheap.
+	if ep.trans[idx].credits == 0 && ep.b.C != nil {
+		ep.b.C.Inc("credit_stall")
+	}
 	wait := sim.Duration(cfg.PollHost)
 	for ep.trans[idx].credits == 0 {
 		if ep.moved {
@@ -454,6 +474,24 @@ func (ep *Endpoint) post(p *sim.Proc, dstNode netsim.NodeID, dstEP int, key Key,
 	if ep.moved && !isReply {
 		return ErrMoved
 	}
+	// Open a trace span for this message when the recorder samples it (or
+	// unconditionally when it continues the trace of the handler we are
+	// inside — sampled traces are never truncated mid-exchange).
+	var fl *obs.Flight
+	if tr := ep.b.tracer; tr != nil {
+		k := obs.KindShort
+		switch {
+		case isReply:
+			k = obs.KindReply
+		case len(payload) > 0:
+			k = obs.KindBulk
+		}
+		if ep.curTrace != 0 {
+			fl = tr.Child(ep.curTrace, int(ep.b.Node.ID), int(dstNode), k, p.Now())
+		} else {
+			fl = tr.Sample(int(ep.b.Node.ID), int(dstNode), k, p.Now())
+		}
+	}
 	cfg := &ep.b.cfg
 	os := cfg.OsShort
 	if isReply {
@@ -468,13 +506,18 @@ func (ep *Endpoint) post(p *sim.Proc, dstNode netsim.NodeID, dstEP int, key Key,
 	if isReply {
 		sq = ep.seg.EP.RepSendQ
 	}
+	if sq.Full() && ep.b.C != nil {
+		ep.b.C.Inc("sendq_stall")
+	}
 	wait := sim.Duration(cfg.PollHost)
 	for sq.Full() {
 		if ep.moved && !isReply {
+			fl.Drop(obs.StageHostPost, "abort:moved", p.Now())
 			return ErrMoved
 		}
 		if ep.waitAbort != nil && !isReply {
 			if err := ep.waitAbort(); err != nil {
+				fl.Drop(obs.StageHostPost, "abort:"+err.Error(), p.Now())
 				return err
 			}
 		}
@@ -500,8 +543,10 @@ func (ep *Endpoint) post(p *sim.Proc, dstNode netsim.NodeID, dstEP int, key Key,
 		Payload:  payload,
 		ReplyKey: ep.seg.EP.Key,
 		Enq:      p.Now(),
+		Flight:   fl,
 	}
 	sq.Push(d)
+	fl.Mark(obs.StageHostPost, p.Now())
 	ep.b.Node.NIC.PostSend(ep.seg.EP)
 	if isReply {
 		ep.Stats.Replies++
@@ -585,6 +630,12 @@ func (ep *Endpoint) pollOnce(p *sim.Proc) int {
 
 // dispatch charges Or and runs the appropriate handler for one message.
 func (ep *Endpoint) dispatch(p *sim.Proc, m *nic.RecvMsg) {
+	// Close the deposit interval (SBUS visibility latency) and the poll
+	// interval (visible → popped). Returned messages carry no flight; their
+	// span was already finalized as dropped by the transport.
+	fl := m.Flight
+	fl.Mark(obs.StageDeposit, m.Visible)
+	fl.Mark(obs.StageHostPoll, p.Now())
 	cfg := &ep.b.cfg
 	or := cfg.OrShort
 	if m.IsReply && !m.IsReturn {
@@ -624,6 +675,11 @@ func (ep *Endpoint) dispatch(p *sim.Proc, m *nic.RecvMsg) {
 		}
 	}
 	ep.Stats.Delivered++
+	// The handler stage covers Or and dispatch bookkeeping; the flight ends
+	// the instant the handler body would start, so an application timestamp
+	// taken as the handler's first action equals the flight's recorded end.
+	fl.Mark(obs.StageHandler, p.Now())
+	fl.Finish(p.Now())
 	h := ep.handlers[m.Handler]
 	if h == nil {
 		return
@@ -641,6 +697,14 @@ func (ep *Endpoint) dispatch(p *sim.Proc, m *nic.RecvMsg) {
 	}
 	if m.IsReply {
 		tok.replied = true // replies must not be replied to
+	}
+	if fl != nil {
+		// Posts inside the handler (replies, forwards) join this trace.
+		prev := ep.curTrace
+		ep.curTrace = fl.TraceID
+		h(p, tok, m.Args, m.Payload)
+		ep.curTrace = prev
+		return
 	}
 	h(p, tok, m.Args, m.Payload)
 }

@@ -6,6 +6,7 @@ import (
 
 	"virtnet/internal/netsim"
 	"virtnet/internal/nic"
+	"virtnet/internal/obs"
 	"virtnet/internal/sim"
 )
 
@@ -19,6 +20,10 @@ type Node struct {
 	ID     netsim.NodeID
 	NIC    *nic.NIC
 	Driver *Driver
+	// Obs is the cluster's observability layer (nil unless Cluster.EnableObs
+	// ran). Layers above (internal/core) pick it up when they attach, so it
+	// must be enabled before bundles are created.
+	Obs *obs.Obs
 
 	cfg Config
 	cpu *sim.Semaphore

@@ -1,0 +1,65 @@
+package hostos
+
+import (
+	"fmt"
+
+	"virtnet/internal/obs"
+)
+
+// EnableObs builds the cluster's observability layer and wires every
+// existing layer into it: per-NI and per-driver counter sets, per-node NI
+// gauges (free frames, staging-queue depths, back-pressured packets), and
+// the network's aggregate and per-link counters. It must run before
+// core.Attach opens bundles on the nodes — bundles capture the tracer and
+// register their own counters at attach time.
+//
+// When opt.SampleEvery > 0 the flight recorder seeds its sampler with one
+// draw from the engine PRNG; runs with tracing enabled are bit-reproducible
+// against each other but take a different random stream than untraced runs.
+// Metrics-only (SampleEvery == 0) draws nothing and perturbs nothing.
+func (c *Cluster) EnableObs(opt obs.Options) *obs.Obs {
+	o := obs.New(c.E, len(c.Nodes), opt)
+	for _, n := range c.Nodes {
+		n.Obs = o
+		o.R.AddCounters(fmt.Sprintf("nic.n%d", int(n.ID)), n.NIC.C)
+		o.R.AddCounters(fmt.Sprintf("drv.n%d", int(n.ID)), n.Driver.C)
+		nic := n.NIC
+		id := n.ID
+		o.R.AddGauge(fmt.Sprintf("nic.n%d.free_frames", int(n.ID)), func() float64 {
+			return float64(nic.FreeFrames())
+		})
+		o.R.AddGauge(fmt.Sprintf("nic.n%d.inbound", int(n.ID)), func() float64 {
+			inb, _, _, _ := nic.QueueLens()
+			return float64(inb)
+		})
+		o.R.AddGauge(fmt.Sprintf("net.n%d.blocked", int(n.ID)), func() float64 {
+			return float64(c.Net.Blocked(id))
+		})
+	}
+	o.R.AddGauge("net.sent", func() float64 { return float64(c.Net.Sent) })
+	o.R.AddGauge("net.delivered", func() float64 { return float64(c.Net.Delivered) })
+	o.R.AddGauge("net.dropped", func() float64 { return float64(c.Net.Dropped) })
+	o.R.AddGauge("net.corrupted", func() float64 { return float64(c.Net.Corrupted) })
+	o.R.AddFunc("link", func() []obs.KV {
+		var out []obs.KV
+		for _, lc := range c.Net.PerLinkCounters() {
+			if lc.Sent == 0 && lc.Dropped == 0 {
+				continue
+			}
+			out = append(out,
+				obs.KV{Name: lc.Name + ".sent", Value: float64(lc.Sent)},
+				obs.KV{Name: lc.Name + ".delivered", Value: float64(lc.Delivered)},
+				obs.KV{Name: lc.Name + ".dropped", Value: float64(lc.Dropped)})
+		}
+		return out
+	})
+	return o
+}
+
+// Obs returns the cluster's observability layer, nil before EnableObs.
+func (c *Cluster) Obs() *obs.Obs {
+	if len(c.Nodes) == 0 {
+		return nil
+	}
+	return c.Nodes[0].Obs
+}

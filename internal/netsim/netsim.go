@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strings"
 
+	"virtnet/internal/obs"
 	"virtnet/internal/sim"
 )
 
@@ -42,6 +43,11 @@ type Packet struct {
 	// injection). The network still delivers it; the receiving NI's CRC
 	// check discards it, and the transport's retransmission masks the loss.
 	Corrupt bool
+	// Flight is the observability trace context riding on a sampled
+	// message (nil when tracing is off or the message was not sampled).
+	// The network records per-hop link occupancy and loss annotations on
+	// it; Release zeroes it with the rest of the struct.
+	Flight *obs.Flight
 
 	// Pool bookkeeping. owner is non-nil only for packets obtained from
 	// Network.AllocPacket; directly constructed packets (tests, simple
@@ -400,6 +406,9 @@ func (n *Network) inject(pkt *Packet, route int) {
 			// Attribute the uniform fabric loss to the sender's access link.
 			n.hostUp[pkt.Src].dropped++
 		}
+		if pkt.Flight != nil {
+			pkt.Flight.Note("loss:fabric", n.e.Now())
+		}
 		pkt.Release()
 		return
 	}
@@ -417,6 +426,9 @@ func (n *Network) inject(pkt *Packet, route int) {
 			// a different route (§5.1) — reconfiguration is transparent.
 			L.dropped++
 			n.Dropped++
+			if pkt.Flight != nil {
+				pkt.Flight.Note("loss:"+L.name, n.e.Now())
+			}
 			pkt.Release()
 			return
 		}
@@ -428,6 +440,9 @@ func (n *Network) inject(pkt *Packet, route int) {
 			if pl > 0 && n.e.Rand().Float64() < pl {
 				L.dropped++
 				n.Dropped++
+				if pkt.Flight != nil {
+					pkt.Flight.Note("burst-loss:"+L.name, n.e.Now())
+				}
 				pkt.Release()
 				return
 			}
@@ -436,6 +451,9 @@ func (n *Network) inject(pkt *Packet, route int) {
 	if n.corrupt > 0 && !pkt.Corrupt && n.e.Rand().Float64() < n.corrupt {
 		pkt.Corrupt = true
 		n.Corrupted++
+		if pkt.Flight != nil {
+			pkt.Flight.Note("corrupt", n.e.Now())
+		}
 	}
 	for _, L := range links {
 		L.delivered++
@@ -464,6 +482,14 @@ func (n *Network) inject(pkt *Packet, route int) {
 		start := t0.Add(sim.Duration(i) * hop)
 		L.busy += tx
 		L.freeAt = start.Add(tx)
+	}
+	if pkt.Flight != nil {
+		// Record the cut-through schedule: the interval each link is
+		// occupied by this packet, in path order.
+		for i, L := range links {
+			start := t0.Add(sim.Duration(i) * hop)
+			pkt.Flight.AddHop(L.name, start, start.Add(tx))
+		}
 	}
 	done := t0.Add(sim.Duration(len(links))*hop + tx)
 	n.newTransit(pkt).timer.ResetAt(done)
@@ -659,20 +685,27 @@ func (n *Network) PerLinkCounters() []LinkCounters {
 	return out
 }
 
-// LinkStats renders the per-link counters, one line per link. With lossyOnly
-// it includes only links that dropped at least one packet — the view fault
-// experiments use to localize where loss happened.
-func (n *Network) LinkStats(lossyOnly bool) string {
+// RenderLinkCounters renders structured per-link counters, one line per
+// link that carried or dropped traffic. With lossyOnly it includes only
+// links that dropped at least one packet — the view fault experiments use
+// to localize where loss happened.
+func RenderLinkCounters(links []LinkCounters, lossyOnly bool) string {
 	var b strings.Builder
-	n.eachLink(func(L *link) {
-		if lossyOnly && L.dropped == 0 {
-			return
+	for _, lc := range links {
+		if lossyOnly && lc.Dropped == 0 {
+			continue
 		}
-		if L.sent == 0 && L.dropped == 0 {
-			return
+		if lc.Sent == 0 && lc.Dropped == 0 {
+			continue
 		}
 		fmt.Fprintf(&b, "%-16s sent=%-9d delivered=%-9d dropped=%d\n",
-			L.name, L.sent, L.delivered, L.dropped)
-	})
+			lc.Name, lc.Sent, lc.Delivered, lc.Dropped)
+	}
 	return b.String()
+}
+
+// LinkStats is PerLinkCounters rendered by RenderLinkCounters: callers that
+// want the data rather than the text should use those directly.
+func (n *Network) LinkStats(lossyOnly bool) string {
+	return RenderLinkCounters(n.PerLinkCounters(), lossyOnly)
 }

@@ -2,6 +2,7 @@ package nic
 
 import (
 	"virtnet/internal/netsim"
+	"virtnet/internal/obs"
 	"virtnet/internal/sim"
 )
 
@@ -48,6 +49,10 @@ type SendDesc struct {
 	FirstSend sim.Time
 	// Enq is when the host posted the descriptor.
 	Enq sim.Time
+	// Flight is the observability trace context for a sampled message
+	// (nil otherwise). The NI marks stage boundaries on it as the
+	// descriptor moves through WRR service and injection.
+	Flight *obs.Flight
 
 	// nacks counts transient NACKs for this message, driving the
 	// descriptor-level exponential backoff.
@@ -75,6 +80,10 @@ type RecvMsg struct {
 	// Visible is when a host poll can first observe the message (deposit
 	// plus SBUS descriptor read latency).
 	Visible sim.Time
+	// Flight carries the sampled message's trace context to the host
+	// dispatch path (nil when untraced; never set on returned messages —
+	// their flight was already finalized as dropped).
+	Flight *obs.Flight
 
 	// owner points at the NI whose free list recycles this message (nil for
 	// directly built test messages); fnext links the free list. The message

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"virtnet/internal/netsim"
+	"virtnet/internal/obs"
 	"virtnet/internal/sim"
 	"virtnet/internal/trace"
 )
@@ -353,8 +354,12 @@ func (n *NIC) fromNetwork(p *netsim.Packet) {
 		// The interface is dark (crashed host or rebooting firmware):
 		// arrivals die here and the senders' transport masks the loss.
 		n.C.Inc("rx.dark_drop")
-		if w, ok := p.Payload.(*wirePkt); ok && w.Kind != pktData {
-			w.release()
+		if w, ok := p.Payload.(*wirePkt); ok {
+			if w.Kind == pktData {
+				w.flight.Note("rx-dark-drop", n.e.Now())
+			} else {
+				w.release()
+			}
 		}
 		return
 	}
@@ -366,6 +371,8 @@ func (n *NIC) fromNetwork(p *netsim.Packet) {
 		n.C.Inc("rx.crc_drop")
 		if pkt.Kind != pktData {
 			pkt.release()
+		} else {
+			pkt.flight.Note("rx-crc-drop", n.e.Now())
 		}
 		return
 	}
@@ -393,6 +400,9 @@ func (n *NIC) fromNetwork(p *netsim.Packet) {
 		}
 		n.wake()
 		return
+	}
+	if pkt.flight != nil {
+		pkt.arrived = n.e.Now()
 	}
 	n.inbound.Push(pkt)
 	n.wake()
@@ -510,8 +520,12 @@ func (n *NIC) serveEndpoints(p *sim.Proc) bool {
 				n.sendOne(p, ep, q)
 				n.loiterCount++
 				if n.loiterCount >= n.cfg.LoiterMsgs ||
-					n.e.Now().Sub(n.loiterStart) >= n.cfg.LoiterTime ||
-					n.sendable(ep) == nil {
+					n.e.Now().Sub(n.loiterStart) >= n.cfg.LoiterTime {
+					// Loiter budget exhausted with traffic still pending:
+					// the fairness mechanism (not idleness) forced the move.
+					n.C.Inc("wrr.loiter_expiry")
+					n.advanceWRR()
+				} else if n.sendable(ep) == nil {
 					n.advanceWRR()
 				}
 				return true
@@ -525,11 +539,15 @@ func (n *NIC) serveEndpoints(p *sim.Proc) bool {
 func (n *NIC) advanceWRR() {
 	n.wrr = (n.wrr + 1) % len(n.frames)
 	n.loiterCount = 0
+	if n.wrr == 0 {
+		n.C.Inc("wrr.rounds")
+	}
 }
 
 // sendOne transmits the head descriptor of queue q on a free channel.
 func (n *NIC) sendOne(p *sim.Proc, ep *EndpointImage, q *ring[*SendDesc]) {
 	d, _ := q.Pop()
+	d.Flight.Mark(obs.StageWRRWait, n.e.Now())
 	n.staging = d
 	ch := n.freeChannel(d.DstNI)
 	ep.LastActive = n.e.Now()
@@ -559,6 +577,7 @@ func (n *NIC) sendOne(p *sim.Proc, ep *EndpointImage, q *ring[*SendDesc]) {
 		Args:     d.Args,
 		Payload:  d.Payload,
 		desc:     d,
+		flight:   d.Flight,
 	}
 	if d.FirstSend == 0 {
 		d.FirstSend = n.e.Now()
@@ -571,6 +590,7 @@ func (n *NIC) sendOne(p *sim.Proc, ep *EndpointImage, q *ring[*SendDesc]) {
 	if n.cfg.PiggybackAcks {
 		pkt.Piggy = n.takeAcks(d.DstNI, 4)
 	}
+	d.Flight.Mark(obs.StageNISend, n.e.Now())
 	n.inject(pkt, ch.idx)
 	n.armTimer(ch)
 	n.C.Inc("tx.data")
@@ -587,6 +607,7 @@ func (n *NIC) inject(pkt *wirePkt, route int) {
 	np := n.net.AllocPacket()
 	np.Src, np.Dst, np.Size, np.Payload = n.id, pkt.DstNI, size, pkt
 	np.Control = pkt.Kind != pktData
+	np.Flight = pkt.flight
 	n.net.Send(np, route)
 	if pkt.Kind == pktData {
 		// Keep a handle on the transmission so the retransmit path can see
@@ -664,6 +685,7 @@ func (n *NIC) retransmit(p *sim.Proc, ch *channel, seq uint64) {
 	if ch.backoff > n.cfg.RetransMax {
 		ch.backoff = n.cfg.RetransMax
 	}
+	d.Flight.Note("retransmit", now)
 	p.Sleep(n.cfg.SendCritical)
 	n.inject(pkt, ch.idx)
 	n.armTimer(ch)
@@ -724,6 +746,7 @@ func (n *NIC) requeue(d *SendDesc) bool {
 // returnToSender deposits an undeliverable-message event into the source
 // endpoint so the application's handler can decide what to do (§3.2).
 func (n *NIC) returnToSender(d *SendDesc, reason NackReason) {
+	d.Flight.Drop(obs.StageWire, "returned:"+reason.String(), n.e.Now())
 	ep, ok := n.eps[d.SrcEP]
 	if !ok {
 		n.C.Inc("rts.dropped")
@@ -874,6 +897,13 @@ func (n *NIC) deliver(p *sim.Proc, pkt *wirePkt) (pktKind, NackReason) {
 	msg.ReplyKey = pkt.ReplyKey
 	msg.Arrive = n.e.Now()
 	msg.Visible = n.e.Now().Add(n.cfg.DepositLatency)
+	if fl := pkt.flight; fl != nil {
+		// Close the wire interval at the copy's recorded arrival, then the
+		// NI receive interval (critical path + deposit DMA) at now.
+		fl.Mark(obs.StageWire, pkt.arrived)
+		fl.Mark(obs.StageRemoteNI, n.e.Now())
+		msg.Flight = fl
+	}
 	q.Push(msg)
 	if pkt.MsgID != 0 {
 		ep.MarkMsg(pkt.SrcEP, pkt.MsgID)
@@ -949,6 +979,7 @@ func (n *NIC) handleNack(p *sim.Proc, pkt *wirePkt) {
 	}
 	d := ch.inflight.desc
 	n.resolveChannel(ch)
+	d.Flight.Note("nack:"+pkt.Reason.String(), n.e.Now())
 	if !pkt.Reason.transient() {
 		n.returnToSender(d, pkt.Reason)
 		return

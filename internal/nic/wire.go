@@ -2,6 +2,7 @@ package nic
 
 import (
 	"virtnet/internal/netsim"
+	"virtnet/internal/obs"
 	"virtnet/internal/sim"
 )
 
@@ -82,6 +83,11 @@ type wirePkt struct {
 	// Sender-side reference to the originating descriptor; never
 	// "serialized" (acks identify messages by channel+seq).
 	desc *SendDesc
+	// flight is the trace context copied from the descriptor at send time;
+	// arrived stamps the accepted inbound arrival on the receive side so a
+	// later deliver can split wire transit from NI receive processing.
+	flight  *obs.Flight
+	arrived sim.Time
 	// netPkt is the sender-side handle to the last transmission's network
 	// packet, consulted to suppress retransmission while it is parked
 	// behind back pressure.

@@ -1,0 +1,36 @@
+package obs
+
+import "virtnet/internal/sim"
+
+// Options configures an observability layer.
+type Options struct {
+	// SampleEvery enables the flight recorder with 1-in-N sampling
+	// (1 records every message). 0 leaves the recorder off: metrics only,
+	// and no draw from the engine PRNG at setup.
+	SampleEvery int
+	// RingCap bounds retained finalized flights per node (DefaultRingCap
+	// when 0).
+	RingCap int
+	// SnapshotEvery enables periodic registry snapshots (the timeline fed
+	// to dashboards and the trace export's counter tracks). 0 disables.
+	SnapshotEvery sim.Duration
+}
+
+// Obs bundles the two halves of the observability layer. T is nil when the
+// flight recorder is disabled; R is always present.
+type Obs struct {
+	T *Tracer
+	R *Registry
+}
+
+// New builds an observability layer for a cluster of nodes hosts.
+func New(e *sim.Engine, nodes int, opt Options) *Obs {
+	o := &Obs{R: NewRegistry(e)}
+	if opt.SampleEvery > 0 {
+		o.T = NewTracer(e, nodes, opt.SampleEvery, opt.RingCap)
+	}
+	if opt.SnapshotEvery > 0 {
+		o.R.StartSampling(opt.SnapshotEvery)
+	}
+	return o
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"virtnet/internal/sim"
+	"virtnet/internal/trace"
+)
+
+// KV is one named metric value in a snapshot.
+type KV struct {
+	Name  string
+	Value float64
+}
+
+// Snap is one point-in-time snapshot of every registered metric.
+type Snap struct {
+	At   sim.Time
+	Vals []KV
+}
+
+// maxSnaps bounds the periodic-snapshot timeline; sampling stops quietly
+// once full so long soaks cannot grow without bound.
+const maxSnaps = 4096
+
+// Registry is the unified metrics registry. Layers register named sections
+// (counter sets, gauges, histograms) once at wiring time; Snapshot walks
+// them in registration order, so the emitted key order is deterministic.
+type Registry struct {
+	e        *sim.Engine
+	sections []func(out []KV) []KV
+	prefixes map[string]bool
+	snaps    []Snap
+	sampling bool
+}
+
+// NewRegistry builds an empty registry bound to the engine's virtual clock.
+func NewRegistry(e *sim.Engine) *Registry {
+	return &Registry{e: e, prefixes: make(map[string]bool)}
+}
+
+// uniquify disambiguates a duplicate registration name rather than letting
+// two sections shadow each other in the dashboard.
+func (r *Registry) uniquify(name string) string {
+	base := name
+	for i := 2; r.prefixes[name]; i++ {
+		name = fmt.Sprintf("%s#%d", base, i)
+	}
+	r.prefixes[name] = true
+	return name
+}
+
+// AddCounters registers a counter set under prefix; each counter appears as
+// "prefix.name" in first-touch order (the order the code first incremented
+// them, which is deterministic per seed).
+func (r *Registry) AddCounters(prefix string, c *trace.Counters) {
+	if r == nil || c == nil {
+		return
+	}
+	prefix = r.uniquify(prefix)
+	r.sections = append(r.sections, func(out []KV) []KV {
+		for _, kv := range c.Snapshot() {
+			out = append(out, KV{Name: prefix + "." + kv.Name, Value: float64(kv.Value)})
+		}
+		return out
+	})
+}
+
+// AddGauge registers a single instantaneous value read by fn at snapshot
+// time (queue depths, free frames, blocked senders).
+func (r *Registry) AddGauge(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	name = r.uniquify(name)
+	r.sections = append(r.sections, func(out []KV) []KV {
+		return append(out, KV{Name: name, Value: fn()})
+	})
+}
+
+// AddHist registers a histogram; snapshots expose its count and mean (µs).
+func (r *Registry) AddHist(name string, h *trace.Hist) {
+	if r == nil || h == nil {
+		return
+	}
+	name = r.uniquify(name)
+	r.sections = append(r.sections, func(out []KV) []KV {
+		out = append(out, KV{Name: name + ".count", Value: float64(h.Count())})
+		return append(out, KV{Name: name + ".mean_us", Value: h.Mean().Seconds() * 1e6})
+	})
+}
+
+// AddFunc registers a section that emits an arbitrary (but deterministic)
+// list of values, e.g. per-link counters from the network.
+func (r *Registry) AddFunc(prefix string, fn func() []KV) {
+	if r == nil || fn == nil {
+		return
+	}
+	prefix = r.uniquify(prefix)
+	r.sections = append(r.sections, func(out []KV) []KV {
+		for _, kv := range fn() {
+			out = append(out, KV{Name: prefix + "." + kv.Name, Value: kv.Value})
+		}
+		return out
+	})
+}
+
+// Snapshot reads every registered section now.
+func (r *Registry) Snapshot() Snap {
+	if r == nil {
+		return Snap{}
+	}
+	s := Snap{At: r.e.Now()}
+	for _, fn := range r.sections {
+		s.Vals = fn(s.Vals)
+	}
+	return s
+}
+
+// StartSampling arranges a periodic Snapshot every interval of virtual
+// time, feeding the timeline returned by Snaps (and the counter tracks of
+// the Chrome trace export). Idempotent.
+func (r *Registry) StartSampling(every sim.Duration) {
+	if r == nil || r.sampling || every <= 0 {
+		return
+	}
+	r.sampling = true
+	var tick func()
+	tick = func() {
+		if len(r.snaps) >= maxSnaps {
+			return
+		}
+		r.snaps = append(r.snaps, r.Snapshot())
+		r.e.Schedule(every, tick)
+	}
+	r.e.Schedule(every, tick)
+}
+
+// Snaps returns the periodic snapshot timeline.
+func (r *Registry) Snaps() []Snap { return r.snaps }
+
+// Dashboard renders a fresh snapshot as aligned text, sorted by name and
+// omitting zero values, with the delta since the last periodic snapshot
+// when one exists.
+func (r *Registry) Dashboard() string {
+	if r == nil {
+		return ""
+	}
+	cur := r.Snapshot()
+	var prev map[string]float64
+	if len(r.snaps) > 0 {
+		prev = make(map[string]float64, len(r.snaps[len(r.snaps)-1].Vals))
+		for _, kv := range r.snaps[len(r.snaps)-1].Vals {
+			prev[kv.Name] = kv.Value
+		}
+	}
+	vals := make([]KV, len(cur.Vals))
+	copy(vals, cur.Vals)
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Name < vals[j].Name })
+	var b strings.Builder
+	fmt.Fprintf(&b, "== metrics @ %v ==\n", cur.At.Sub(0))
+	for _, kv := range vals {
+		if kv.Value == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-40s %14s", kv.Name, fmtVal(kv.Value))
+		if prev != nil {
+			if d := kv.Value - prev[kv.Name]; d != 0 {
+				fmt.Fprintf(&b, "  (%+g)", d)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func fmtVal(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}

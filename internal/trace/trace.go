@@ -41,6 +41,23 @@ func (c *Counters) Get(name string) int64 { return c.m[name] }
 // Names returns counter names in first-touch order.
 func (c *Counters) Names() []string { return append([]string(nil), c.order...) }
 
+// CounterKV is one counter's name and value, as returned by Snapshot.
+type CounterKV struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns every counter in first-touch order. The order is
+// deterministic per seed (it is the order the code first touched each
+// counter), which makes snapshots safe to feed into golden outputs.
+func (c *Counters) Snapshot() []CounterKV {
+	out := make([]CounterKV, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, CounterKV{Name: n, Value: c.m[n]})
+	}
+	return out
+}
+
 // String renders all counters, one per line, in first-touch order.
 func (c *Counters) String() string {
 	var b strings.Builder
@@ -69,6 +86,11 @@ type Hist struct {
 	n        int64
 	sum      int64
 	min, max sim.Duration
+
+	// nearestRank pins Quantile to the legacy truncate-to-lower-order-
+	// statistic definition. Interpolation is the default; experiments whose
+	// committed golden outputs predate the fix opt back in per histogram.
+	nearestRank bool
 }
 
 // NewHist returns an empty histogram that retains every sample.
@@ -124,21 +146,40 @@ func (h *Hist) sortSamples() {
 	}
 }
 
-// Quantile returns the q-th quantile (0 <= q <= 1) of the samples.
+// Quantile returns the q-th quantile (0 <= q <= 1) of the retained samples
+// using linear interpolation between adjacent order statistics: the quantile
+// position is q·(n−1), and a fractional position blends the two neighboring
+// samples proportionally (the "linear" definition used by numpy and R type
+// 7). The previous implementation truncated the position to the lower order
+// statistic, which biased every non-integer quantile low — visibly so for
+// p99 over small sample counts.
 func (h *Hist) Quantile(q float64) sim.Duration {
 	if len(h.samples) == 0 {
 		return 0
 	}
 	h.sortSamples()
-	i := int(q * float64(len(h.samples)-1))
-	if i < 0 {
-		i = 0
+	if q <= 0 {
+		return h.samples[0]
 	}
-	if i >= len(h.samples) {
-		i = len(h.samples) - 1
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
 	}
-	return h.samples[i]
+	pos := q * float64(len(h.samples)-1)
+	i := int(pos)
+	if h.nearestRank {
+		return h.samples[i]
+	}
+	frac := pos - float64(i)
+	if frac == 0 || i+1 >= len(h.samples) {
+		return h.samples[i]
+	}
+	lo, hi := h.samples[i], h.samples[i+1]
+	return lo + sim.Duration(frac*float64(hi-lo)+0.5)
 }
+
+// SetNearestRank switches Quantile between linear interpolation (default)
+// and the legacy lower-order-statistic definition.
+func (h *Hist) SetNearestRank(on bool) { h.nearestRank = on }
 
 // Mean returns the mean sample value (exact in reservoir mode).
 func (h *Hist) Mean() sim.Duration {

@@ -267,11 +267,47 @@ func TestSummaryZeroSafe(t *testing.T) {
 	h.Observe(10)
 	h.Observe(30)
 	got := h.Summary()
-	want := "n=2 mean=20ns p50=10ns p99=10ns min=10ns max=30ns"
+	// Interpolated quantiles: p50 of {10,30} is the midpoint, p99 sits
+	// 98% of the way between them (10 + 0.98*20 = 29.6, rounded to 30).
+	want := "n=2 mean=20ns p50=20ns p99=30ns min=10ns max=30ns"
 	if got != want {
 		t.Fatalf("summary = %q, want %q", got, want)
 	}
 	if h.Quantile(-0.5) != 10 || h.Quantile(2.0) != 30 {
 		t.Fatalf("out-of-range quantiles not clamped: %v %v", h.Quantile(-0.5), h.Quantile(2.0))
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHist()
+	for _, v := range []sim.Duration{100, 200, 300, 400} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want sim.Duration
+	}{
+		{0, 100},
+		{1, 400},
+		{0.5, 250},        // position 1.5: midpoint of 200 and 300
+		{0.25, 175},       // position 0.75: 100 + 0.75*(200-100)
+		{1.0 / 3.0, 200},  // position 1.0: exact order statistic
+		{0.99, 397},       // position 2.97: 300 + 0.97*(400-300)
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestCountersSnapshot(t *testing.T) {
+	c := NewCounters()
+	c.Inc("z")
+	c.Add("a", 3)
+	c.Inc("z")
+	snap := c.Snapshot()
+	if len(snap) != 2 || snap[0] != (CounterKV{"z", 2}) || snap[1] != (CounterKV{"a", 3}) {
+		t.Fatalf("snapshot = %v, want first-touch order [z=2 a=3]", snap)
 	}
 }
