@@ -16,6 +16,7 @@
 //	vnbench simperf           ext.    event-engine self-benchmark
 //	vnbench allreduce         ext.    collective algorithm sweep + SGD overlap
 //	vnbench breakdown         §4      per-stage latency decomposition via tracing
+//	vnbench tenants           ext.    multi-tenant metered WRR shares under overcommit
 //	vnbench all               everything above
 //
 // Use -quick for smaller client sweeps and shorter windows. The golden
@@ -105,11 +106,13 @@ func main() {
 		"simperf":          runSimPerf,
 		"allreduce":        runAllreduce,
 		"breakdown":        runBreakdown,
+		"tenants":          runTenants,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"logp", "bandwidth", "npb", "contention-small",
 			"contention-bulk", "linpack", "timeshare", "overcommit", "ablations",
-			"sensitivity", "migrate", "faults", "simperf", "allreduce", "breakdown"} {
+			"sensitivity", "migrate", "faults", "simperf", "allreduce", "breakdown",
+			"tenants"} {
 			cmds[name]()
 		}
 		return

@@ -1,0 +1,30 @@
+# Scripted control-plane session replayed by `vnproxyd -script`.
+# CI runs it twice and diffs the outputs: the response stream must be a
+# pure function of the seed and this request sequence.
+{"op":"create-tenant","tenant":"gold","quota":8,"share":4}
+{"op":"add-nic","tenant":"gold","node":0}
+{"op":"add-nic","tenant":"gold","node":1}
+{"op":"create-network","tenant":"gold","network":"prod"}
+{"op":"create-endpoint","tenant":"gold","network":"prod","endpoint":"client","node":0}
+{"op":"create-endpoint","tenant":"gold","network":"prod","endpoint":"server","node":1}
+{"op":"traffic","tenant":"gold","network":"prod","endpoint":"client","peer":"server","count":50}
+{"op":"advance","dur":"40ms"}
+{"op":"inject-fault","tenant":"gold","plan":"reboot:node1@1ms+5ms"}
+{"op":"advance","dur":"40ms"}
+{"op":"list-networks"}
+{"op":"snapshot"}
+{"op":"query-metrics","prefix":"vnet.tenant"}
+{"op":"delete-network","tenant":"gold","network":"prod"}
+{"op":"delete-tenant","tenant":"gold"}
+# second tenant cycle on the same cluster: churn must not leak state
+{"op":"create-tenant","tenant":"silver","quota":4,"share":2}
+{"op":"add-nic","tenant":"silver","node":2}
+{"op":"add-nic","tenant":"silver","node":3}
+{"op":"create-network","tenant":"silver","network":"prod"}
+{"op":"create-endpoint","tenant":"silver","network":"prod","endpoint":"a"}
+{"op":"create-endpoint","tenant":"silver","network":"prod","endpoint":"b"}
+{"op":"traffic","tenant":"silver","network":"prod","endpoint":"a","peer":"b","count":50}
+{"op":"advance","dur":"40ms"}
+{"op":"snapshot"}
+{"op":"delete-tenant","tenant":"silver"}
+{"op":"list-networks"}

@@ -354,6 +354,32 @@ func (ep *Endpoint) TranslationName(idx int) EndpointName {
 // SetEventMask arms (or disarms) arrival events for this endpoint (§3.3).
 func (ep *Endpoint) SetEventMask(armed bool) { ep.seg.EP.EventArmed = armed }
 
+// SetWeight sets the endpoint's NI service share weight: the weighted
+// round-robin discipline lets the endpoint loiter w× the base budget before
+// advancing, so weights meter relative send bandwidth between endpoints
+// competing for the same NI (the tenancy layer maps tenant shares here).
+// Weights below 1 are clamped to 1.
+func (ep *Endpoint) SetWeight(w int) {
+	if w < 1 {
+		w = 1
+	}
+	ep.seg.EP.Weight = w
+}
+
+// Weight returns the endpoint's NI service share weight.
+func (ep *Endpoint) Weight() int {
+	if w := ep.seg.EP.Weight; w > 1 {
+		return w
+	}
+	return 1
+}
+
+// Serviced reports the messages and payload bytes the NI has transmitted
+// from this endpoint — the metered quantity behind share weights.
+func (ep *Endpoint) Serviced() (msgs, bytes int64) {
+	return ep.seg.EP.Serviced, ep.seg.EP.ServicedBytes
+}
+
 // lock charges synchronization cost on shared endpoints.
 func (ep *Endpoint) lock(p *sim.Proc) {
 	if ep.mode == Shared {

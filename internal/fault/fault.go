@@ -149,6 +149,11 @@ func (pl *Plan) CrashTargets() []int {
 	return out
 }
 
+// ParseDur parses a duration in the schedule-string grammar ("0.2s",
+// "150ms", "50us", "300ns"). The control plane reuses it for advance ops so
+// scripts and fault schedules share one duration syntax.
+func ParseDur(s string) (sim.Duration, error) { return parseDur(s) }
+
 // parseDur parses a duration like "0.2s", "150ms", "50us", "300ns".
 func parseDur(s string) (sim.Duration, error) {
 	unit := sim.Duration(0)

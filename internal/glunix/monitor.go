@@ -60,6 +60,7 @@ type Monitor struct {
 	master   *core.Endpoint
 	lastBeat []sim.Time
 	deadN    []bool
+	beatGen  []int // per-node beater generation; stale beaters retire themselves
 	onDead   []func(p *sim.Proc, node int)
 
 	// Deaths counts nodes declared dead.
@@ -83,6 +84,7 @@ func NewMonitor(c *hostos.Cluster, sched *Scheduler, names NameService, home int
 		home:     home,
 		lastBeat: make([]sim.Time, len(c.Nodes)),
 		deadN:    make([]bool, len(c.Nodes)),
+		beatGen:  make([]int, len(c.Nodes)),
 	}
 	now := c.E.Now()
 	for i := range m.lastBeat {
@@ -150,15 +152,23 @@ func (m *Monitor) startBeater(i int) error {
 	if err := ep.Map(0, m.master.Name(), m.cfg.Key); err != nil {
 		return err
 	}
+	// Generation guard: a node declared dead across a network partition (as
+	// opposed to a crash) still has its original beater running, so a
+	// Reinstate would otherwise double it up — duplicate beats and a leaked
+	// endpoint per reinstate cycle. A stale beater notices the bumped
+	// generation, frees its endpoint, and exits.
+	m.beatGen[i]++
+	gen := m.beatGen[i]
 	node.Spawn("beater", func(p *sim.Proc) {
-		for {
+		for m.beatGen[i] == gen {
 			_ = ep.Request(p, 0, hBeat, [4]uint64{uint64(i)})
 			next := p.Now().Add(m.cfg.Interval)
-			for p.Now() < next {
+			for p.Now() < next && m.beatGen[i] == gen {
 				ep.Poll(p)
 				p.Sleep(m.cfg.Interval / 4)
 			}
 		}
+		bun.Close(p)
 	})
 	return nil
 }
@@ -190,8 +200,10 @@ func (m *Monitor) OnDead(h func(p *sim.Proc, node int)) {
 func (m *Monitor) Dead(n int) bool { return m.deadN[n] }
 
 // Reinstate returns a restarted node to service: it is no longer considered
-// dead, the scheduler may allocate it again, and a fresh beater is started
-// (the old one died with the crash).
+// dead, the scheduler may allocate it again, and a fresh beater is started.
+// A crash killed the old beater with the node; after a partition-declared
+// death the old beater survives, and starting its successor bumps the
+// generation so the survivor retires instead of beating in duplicate.
 func (m *Monitor) Reinstate(n int) error {
 	if !m.deadN[n] {
 		return nil

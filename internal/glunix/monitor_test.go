@@ -131,4 +131,66 @@ func TestReinstateAfterRestart(t *testing.T) {
 	}
 }
 
+// A reinstated node must be watched exactly like a fresh one: if it goes
+// silent again it is re-declared dead. The death here comes from a network
+// partition, not a crash — the original beater survives it, so Reinstate
+// must retire that survivor instead of stacking a duplicate beater (and
+// leaking its endpoint) per reinstate cycle.
+func TestReinstateRedeathAfterPartition(t *testing.T) {
+	c := hostos.NewCluster(13, 3, hostos.DefaultClusterConfig())
+	defer c.Shutdown()
+	mon, err := NewMonitor(c, nil, nil, 0, DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.E.RunFor(20 * sim.Millisecond)
+	epsSteady := c.Nodes[2].Driver.NumEndpoints()
+
+	// Partition node 2 past the silence threshold: declared dead, but the
+	// beater proc is still alive behind the downed link.
+	c.Net.SetHostLinkDown(2, true)
+	c.E.RunFor(100 * sim.Millisecond)
+	if !mon.Dead(2) || mon.Deaths != 1 {
+		t.Fatalf("after partition: dead=%v deaths=%d, want dead once", mon.Dead(2), mon.Deaths)
+	}
+
+	// Heal and reinstate: beats resume, and the superseded beater must
+	// retire — the node's endpoint count returns to steady state.
+	c.Net.SetHostLinkDown(2, false)
+	if err := mon.Reinstate(2); err != nil {
+		t.Fatal(err)
+	}
+	beatsAt := mon.Beats
+	c.E.RunFor(100 * sim.Millisecond)
+	if mon.Dead(2) {
+		t.Fatal("reinstated node re-declared dead while beating")
+	}
+	if mon.Beats <= beatsAt {
+		t.Fatal("no beats from the reinstated node")
+	}
+	if got := c.Nodes[2].Driver.NumEndpoints(); got != epsSteady {
+		t.Fatalf("node 2 has %d endpoints after reinstate, want %d (old beater leaked)", got, epsSteady)
+	}
+
+	// Silence it again: the monitor must re-declare the same node dead.
+	c.Net.SetHostLinkDown(2, true)
+	c.E.RunFor(100 * sim.Millisecond)
+	if !mon.Dead(2) || mon.Deaths != 2 {
+		t.Fatalf("after second partition: dead=%v deaths=%d, want re-death", mon.Dead(2), mon.Deaths)
+	}
+
+	// And a second reinstate works just the same.
+	c.Net.SetHostLinkDown(2, false)
+	if err := mon.Reinstate(2); err != nil {
+		t.Fatal(err)
+	}
+	c.E.RunFor(100 * sim.Millisecond)
+	if mon.Dead(2) {
+		t.Fatal("second reinstate did not stick")
+	}
+	if got := c.Nodes[2].Driver.NumEndpoints(); got != epsSteady {
+		t.Fatalf("node 2 has %d endpoints after second reinstate, want %d", got, epsSteady)
+	}
+}
+
 const time500ms = 500 * sim.Millisecond

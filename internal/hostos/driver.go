@@ -184,6 +184,11 @@ func (d *Driver) Restart() {
 // Crashed reports whether the driver's host is down.
 func (d *Driver) Crashed() bool { return d.crashed }
 
+// NumEndpoints reports the endpoint segments currently allocated on this
+// node. Admission-control layers compare it against the NI's frame capacity
+// to bound overcommit.
+func (d *Driver) NumEndpoints() int { return len(d.segs) }
+
 func (d *Driver) tick(remote uint64) uint64 {
 	if remote > d.lamport {
 		d.lamport = remote

@@ -321,6 +321,122 @@ func TestGlunixDrainEvacuatesEndpoints(t *testing.T) {
 // Churn under packet loss: repeated migrations while the network drops
 // packets and the destination overcommits its endpoint frames. Exactly-once
 // must hold for every request across every move.
+// The name service must behave like a versioned register under concurrent
+// use of one endpoint name: a mover rebinds it (Move → Publish), two loaded
+// clients keep resolving it through NackMoved refreshes, an observer polls
+// Resolve/Version directly, and unrelated names churn the directory map the
+// whole time. The version must be monotonic, each version must denote
+// exactly one binding, and no client may be served from a stale translation
+// after its refresh — every request gets exactly one reply.
+func TestDirectoryVersionConflictUnderConcurrentMoves(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	svc, err := NewService(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := echoServer(t, c, svc, 0, 88)
+	epID := server.Segment().EP.ID
+	cl1 := newClient(t, c, svc, 1, server, 88)
+	cl2 := newClient(t, c, svc, 2, server, 88)
+	const n = 250
+	cl1.run(c, 1, n, 40*sim.Microsecond)
+	cl2.run(c, 2, n, 55*sim.Microsecond)
+
+	// Mover: rebind the name while the clients are mid-stream.
+	dsts := []netsim.NodeID{1, 2, 3}
+	moves := 0
+	c.Nodes[0].Spawn("mover", func(p *sim.Proc) {
+		for _, dst := range dsts {
+			p.Sleep(2 * sim.Millisecond)
+			cur, ok := svc.Endpoint(epID)
+			if !ok {
+				t.Error("managed endpoint lost")
+				return
+			}
+			if _, err := svc.Move(p, cur, dst); err != nil {
+				t.Errorf("move->%d: %v", dst, err)
+				return
+			}
+			moves++
+		}
+	})
+
+	// Observer: poll the directory concurrently, recording every (version,
+	// node) pair it is served.
+	type binding struct {
+		ver  uint64
+		node netsim.NodeID
+	}
+	var seen []binding
+	c.Nodes[3].Spawn("lookup", func(p *sim.Proc) {
+		for {
+			if node, ver, ok := svc.Dir.Resolve(epID); ok {
+				seen = append(seen, binding{ver, node})
+			}
+			p.Sleep(100 * sim.Microsecond)
+		}
+	})
+
+	// Churn: concurrent Publish/Forget of unrelated names stresses the
+	// directory map around the contended entry.
+	c.Nodes[3].Spawn("churn", func(p *sim.Proc) {
+		for i := 0; ; i++ {
+			id := 100000 + i%16
+			svc.Dir.Publish(id, netsim.NodeID(i%4))
+			p.Sleep(150 * sim.Microsecond)
+			if i%3 == 0 {
+				svc.Dir.Forget(id)
+			}
+		}
+	})
+
+	c.E.RunFor(5 * sim.Second)
+
+	if moves != len(dsts) {
+		t.Fatalf("completed %d moves, want %d", moves, len(dsts))
+	}
+	for i, cl := range []*client{cl1, cl2} {
+		if !cl.done {
+			t.Fatalf("client %d incomplete: %d/%d ids replied", i+1, len(cl.replies), n)
+		}
+		for id := uint64(1); id <= n; id++ {
+			if cl.replies[id] != 1 {
+				t.Fatalf("client %d id %d: %d replies, want exactly 1", i+1, id, cl.replies[id])
+			}
+		}
+		if cl.returns != 0 {
+			t.Fatalf("client %d saw %d user-level returns; redirects must be transparent", i+1, cl.returns)
+		}
+	}
+	if cl1.ep.Stats.Redirects+cl2.ep.Stats.Redirects == 0 {
+		t.Fatal("no NackMoved redirects; the moves were not exercised under load")
+	}
+
+	// Version semantics: monotonic, and one binding per version.
+	byVer := make(map[uint64]netsim.NodeID)
+	var last uint64
+	for _, b := range seen {
+		if b.ver < last {
+			t.Fatalf("directory version went backwards: %d after %d", b.ver, last)
+		}
+		last = b.ver
+		if prev, ok := byVer[b.ver]; ok && prev != b.node {
+			t.Fatalf("version %d served two bindings: node %d and node %d", b.ver, prev, b.node)
+		}
+		byVer[b.ver] = b.node
+	}
+	if v := svc.Dir.Version(epID); v != uint64(len(dsts)) {
+		t.Fatalf("final version = %d, want %d (one bump per move)", v, len(dsts))
+	}
+	final := dsts[len(dsts)-1]
+	if node, ver, ok := svc.Dir.Resolve(epID); !ok || node != final || ver != uint64(len(dsts)) {
+		t.Fatalf("final resolve = (%d,%d,%v), want (%d,%d,true)", node, ver, ok, final, len(dsts))
+	}
+	if node, ok := byVer[uint64(len(dsts))]; ok && node != final {
+		t.Fatalf("observer saw final version at node %d, want %d", node, final)
+	}
+}
+
 func TestMigrationChurnUnderLoss(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3} {
 		cfg := hostos.DefaultClusterConfig()

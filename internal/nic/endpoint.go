@@ -142,6 +142,19 @@ type EndpointImage struct {
 	// (endpoint event mask, §3.3). The NI calls DriverPort.Notify.
 	EventArmed bool
 
+	// Weight scales the endpoint's WRR loiter budget: the firmware lets the
+	// endpoint emit up to Weight×LoiterMsgs messages (and loiter up to
+	// Weight×LoiterTime) before advancing, so an endpoint with weight w
+	// receives roughly w shares of NI send service under saturation. Zero is
+	// treated as 1, so existing callers see the paper's unweighted discipline.
+	Weight int
+
+	// Serviced and ServicedBytes meter WRR send service: messages and payload
+	// bytes the firmware actually transmitted from this endpoint. The tenancy
+	// layer aggregates them per tenant to verify metered shares.
+	Serviced      int64
+	ServicedBytes int64
+
 	// OnDeliver, when set, runs in NI context after a message is deposited.
 	// The core library uses it for bookkeeping that the NI performs as part
 	// of the deposit (e.g. statistics); it must not block.

@@ -506,8 +506,9 @@ func (n *NIC) sendable(ep *EndpointImage) *ring[*SendDesc] {
 
 // serveEndpoints performs one step of the weighted round-robin service
 // discipline: it loiters on the current endpoint until the loiter budget
-// (LoiterMsgs messages or LoiterTime) is exhausted or the endpoint has
-// nothing sendable, then advances. It reports whether any work was done.
+// (LoiterMsgs messages or LoiterTime, both scaled by the endpoint's share
+// weight) is exhausted or the endpoint has nothing sendable, then advances.
+// It reports whether any work was done.
 func (n *NIC) serveEndpoints(p *sim.Proc) bool {
 	nf := len(n.frames)
 	for scan := 0; scan < nf; scan++ {
@@ -519,8 +520,12 @@ func (n *NIC) serveEndpoints(p *sim.Proc) bool {
 				}
 				n.sendOne(p, ep, q)
 				n.loiterCount++
-				if n.loiterCount >= n.cfg.LoiterMsgs ||
-					n.e.Now().Sub(n.loiterStart) >= n.cfg.LoiterTime {
+				w := ep.Weight
+				if w < 1 {
+					w = 1
+				}
+				if n.loiterCount >= n.cfg.LoiterMsgs*w ||
+					n.e.Now().Sub(n.loiterStart) >= n.cfg.LoiterTime*sim.Duration(w) {
 					// Loiter budget exhausted with traffic still pending:
 					// the fairness mechanism (not idleness) forced the move.
 					n.C.Inc("wrr.loiter_expiry")
@@ -551,6 +556,8 @@ func (n *NIC) sendOne(p *sim.Proc, ep *EndpointImage, q *ring[*SendDesc]) {
 	n.staging = d
 	ch := n.freeChannel(d.DstNI)
 	ep.LastActive = n.e.Now()
+	ep.Serviced++
+	ep.ServicedBytes += int64(len(d.Payload))
 
 	// Stage bulk payload from host memory into NI memory over the SBUS.
 	if len(d.Payload) > 0 {

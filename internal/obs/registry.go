@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"virtnet/internal/sim"
 	"virtnet/internal/trace"
@@ -28,8 +29,12 @@ const maxSnaps = 4096
 // Registry is the unified metrics registry. Layers register named sections
 // (counter sets, gauges, histograms) once at wiring time; Snapshot walks
 // them in registration order, so the emitted key order is deterministic.
+// Registration and snapshotting are mutex-guarded: the simulation is
+// single-threaded, but late registrations (tenant churn) can overlap
+// snapshot reads from observer goroutines.
 type Registry struct {
 	e        *sim.Engine
+	mu       sync.Mutex
 	sections []func(out []KV) []KV
 	prefixes map[string]bool
 	snaps    []Snap
@@ -59,6 +64,8 @@ func (r *Registry) AddCounters(prefix string, c *trace.Counters) {
 	if r == nil || c == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	prefix = r.uniquify(prefix)
 	r.sections = append(r.sections, func(out []KV) []KV {
 		for _, kv := range c.Snapshot() {
@@ -74,6 +81,8 @@ func (r *Registry) AddGauge(name string, fn func() float64) {
 	if r == nil || fn == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	name = r.uniquify(name)
 	r.sections = append(r.sections, func(out []KV) []KV {
 		return append(out, KV{Name: name, Value: fn()})
@@ -85,6 +94,8 @@ func (r *Registry) AddHist(name string, h *trace.Hist) {
 	if r == nil || h == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	name = r.uniquify(name)
 	r.sections = append(r.sections, func(out []KV) []KV {
 		out = append(out, KV{Name: name + ".count", Value: float64(h.Count())})
@@ -98,6 +109,8 @@ func (r *Registry) AddFunc(prefix string, fn func() []KV) {
 	if r == nil || fn == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	prefix = r.uniquify(prefix)
 	r.sections = append(r.sections, func(out []KV) []KV {
 		for _, kv := range fn() {
@@ -107,13 +120,18 @@ func (r *Registry) AddFunc(prefix string, fn func() []KV) {
 	})
 }
 
-// Snapshot reads every registered section now.
+// Snapshot reads every registered section now. Section callbacks run
+// outside the registry lock so one that registers further metrics (or
+// blocks) cannot deadlock the registry.
 func (r *Registry) Snapshot() Snap {
 	if r == nil {
 		return Snap{}
 	}
+	r.mu.Lock()
+	sections := append([]func(out []KV) []KV(nil), r.sections...)
+	r.mu.Unlock()
 	s := Snap{At: r.e.Now()}
-	for _, fn := range r.sections {
+	for _, fn := range sections {
 		s.Vals = fn(s.Vals)
 	}
 	return s
@@ -123,23 +141,42 @@ func (r *Registry) Snapshot() Snap {
 // time, feeding the timeline returned by Snaps (and the counter tracks of
 // the Chrome trace export). Idempotent.
 func (r *Registry) StartSampling(every sim.Duration) {
-	if r == nil || r.sampling || every <= 0 {
+	if r == nil || every <= 0 {
+		return
+	}
+	r.mu.Lock()
+	if r.sampling {
+		r.mu.Unlock()
 		return
 	}
 	r.sampling = true
+	r.mu.Unlock()
 	var tick func()
 	tick = func() {
-		if len(r.snaps) >= maxSnaps {
+		snap := r.Snapshot()
+		r.mu.Lock()
+		full := len(r.snaps) >= maxSnaps
+		if !full {
+			r.snaps = append(r.snaps, snap)
+		}
+		r.mu.Unlock()
+		if full {
 			return
 		}
-		r.snaps = append(r.snaps, r.Snapshot())
 		r.e.Schedule(every, tick)
 	}
 	r.e.Schedule(every, tick)
 }
 
 // Snaps returns the periodic snapshot timeline.
-func (r *Registry) Snaps() []Snap { return r.snaps }
+func (r *Registry) Snaps() []Snap {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Snap(nil), r.snaps...)
+}
 
 // Dashboard renders a fresh snapshot as aligned text, sorted by name and
 // omitting zero values, with the delta since the last periodic snapshot
@@ -150,12 +187,15 @@ func (r *Registry) Dashboard() string {
 	}
 	cur := r.Snapshot()
 	var prev map[string]float64
+	r.mu.Lock()
 	if len(r.snaps) > 0 {
-		prev = make(map[string]float64, len(r.snaps[len(r.snaps)-1].Vals))
-		for _, kv := range r.snaps[len(r.snaps)-1].Vals {
+		last := r.snaps[len(r.snaps)-1]
+		prev = make(map[string]float64, len(last.Vals))
+		for _, kv := range last.Vals {
 			prev[kv.Name] = kv.Value
 		}
 	}
+	r.mu.Unlock()
 	vals := make([]KV, len(cur.Vals))
 	copy(vals, cur.Vals)
 	sort.Slice(vals, func(i, j int) bool { return vals[i].Name < vals[j].Name })

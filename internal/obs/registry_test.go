@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"virtnet/internal/sim"
+	"virtnet/internal/trace"
+)
+
+// TestRegistryConcurrentSnapshot hammers the registry from many goroutines
+// at once — counter updates, late section registrations, snapshots,
+// dashboards, and sampling reads — and relies on the race detector to flag
+// any unguarded access. This mirrors the daemon shape: worker goroutines
+// mutate counters while observer goroutines read metrics. The engine is
+// advanced only before the hammering starts: the virtual clock itself is
+// single-threaded by design (the daemon serializes all engine access
+// through one executor), and the registry must be safe around it.
+func TestRegistryConcurrentSnapshot(t *testing.T) {
+	e := sim.NewEngine(1)
+	r := NewRegistry(e)
+	c := trace.NewCounters()
+	r.AddCounters("base", c)
+	r.AddGauge("g", func() float64 { return 42 })
+	r.StartSampling(sim.Millisecond)
+	c.Inc("seeded")
+	e.RunFor(10 * sim.Millisecond) // accumulate sampled snaps for Snaps/Dashboard readers
+
+	const (
+		writers = 4
+		readers = 4
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cc := trace.NewCounters()
+			for i := 0; i < iters; i++ {
+				c.Inc(fmt.Sprintf("k%d", i%8))
+				c.Add("bytes", 64)
+				cc.Inc("own")
+				if i%500 == 0 {
+					// Late registration racing the snapshot walk.
+					r.AddCounters(fmt.Sprintf("w%d.%d", w, i), cc)
+					r.AddGauge(fmt.Sprintf("w%d.g%d", w, i), func() float64 { return float64(i) })
+				}
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters/10; i++ {
+				_ = r.Snapshot()
+				_ = r.Snaps()
+				_ = c.Snapshot()
+				_ = c.Get("bytes")
+				_ = c.Names()
+				if i%50 == 0 {
+					_ = r.Dashboard()
+					_ = c.String()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if len(s.Vals) == 0 {
+		t.Fatal("empty snapshot after hammering")
+	}
+	if len(r.Snaps()) == 0 {
+		t.Fatal("no sampled snapshots")
+	}
+	var total int64
+	for _, kv := range c.Snapshot() {
+		total += int64(kv.Value)
+	}
+	want := int64(writers*iters*(1+64)) + 1 // Inc + Add(64) per iter, plus the seed
+	if total != want {
+		t.Fatalf("counter total = %d, want %d (lost updates)", total, want)
+	}
+}

@@ -9,12 +9,16 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"virtnet/internal/sim"
 )
 
-// Counters is a set of named monotonic counters.
+// Counters is a set of named monotonic counters. The simulation itself is
+// single-threaded, but observers (metric snapshots, daemon status queries)
+// may read from other goroutines, so access is mutex-guarded.
 type Counters struct {
+	mu    sync.Mutex
 	m     map[string]int64
 	order []string
 }
@@ -26,20 +30,30 @@ func NewCounters() *Counters {
 
 // Add increments counter name by n.
 func (c *Counters) Add(name string, n int64) {
+	c.mu.Lock()
 	if _, ok := c.m[name]; !ok {
 		c.order = append(c.order, name)
 	}
 	c.m[name] += n
+	c.mu.Unlock()
 }
 
 // Inc increments counter name by one.
 func (c *Counters) Inc(name string) { c.Add(name, 1) }
 
 // Get returns the value of counter name (zero if never touched).
-func (c *Counters) Get(name string) int64 { return c.m[name] }
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
 
 // Names returns counter names in first-touch order.
-func (c *Counters) Names() []string { return append([]string(nil), c.order...) }
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
 
 // CounterKV is one counter's name and value, as returned by Snapshot.
 type CounterKV struct {
@@ -51,6 +65,8 @@ type CounterKV struct {
 // deterministic per seed (it is the order the code first touched each
 // counter), which makes snapshots safe to feed into golden outputs.
 func (c *Counters) Snapshot() []CounterKV {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]CounterKV, 0, len(c.order))
 	for _, n := range c.order {
 		out = append(out, CounterKV{Name: n, Value: c.m[n]})
@@ -60,6 +76,8 @@ func (c *Counters) Snapshot() []CounterKV {
 
 // String renders all counters, one per line, in first-touch order.
 func (c *Counters) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var b strings.Builder
 	for _, n := range c.order {
 		fmt.Fprintf(&b, "%-32s %12d\n", n, c.m[n])
