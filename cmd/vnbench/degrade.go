@@ -1,0 +1,265 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"virtnet/internal/fault"
+	"virtnet/internal/hostos"
+	"virtnet/internal/reliab"
+	"virtnet/internal/rpc"
+	"virtnet/internal/sim"
+)
+
+// runDegrade is the graceful-degradation experiment (DESIGN.md §10): an
+// open-loop Poisson request stream sweeps offered load from well under to
+// 3x the service capacity of a two-server pool, with a 5 ms end-to-end
+// deadline on every request. With the reliability layer on (bounded
+// admission queues, deadline shedding at every tier, budgeted backoff
+// retries, circuit breakers), goodput — replies that are correct AND within
+// deadline — plateaus near capacity as offered load keeps climbing, with
+// bounded p99. The ablation (unbounded FIFO, no shedding, blind immediate
+// retries on timeout) serves ever-staler work past saturation: goodput
+// collapses even though the servers stay 100% busy. A third variant re-runs
+// the reliability layer under fault churn (loss bursts, a client cut off,
+// a firmware reboot) to show the plateau survives an unreliable fabric.
+func runDegrade() {
+	header("graceful degradation under overload — goodput vs offered load")
+	const (
+		nodes     = 8
+		nServers  = 2
+		key       = 91
+		service   = 200 * sim.Microsecond
+		deadline  = 5 * sim.Millisecond
+		queue     = 16 // bounded admission: 16 x 200us = 3.2ms < deadline
+		maxOut    = 32 // per-client outstanding cap
+		blindMax  = 3  // ablation: total attempts per request
+		churnPlan = "burst:all@120ms+80ms:0.05,hostlink:6@220ms+30ms,reboot:node7@300ms"
+	)
+	nClients := nodes - nServers
+	capacity := float64(nServers) * float64(sim.Second) / float64(service) // rps
+	measure := 400 * sim.Millisecond
+	factors := []float64{0.25, 0.5, 1.0, 1.5, 2.0, 3.0}
+	if *quick {
+		measure = 150 * sim.Millisecond
+		factors = []float64{0.5, 1.0, 2.0}
+	}
+	fmt.Printf("capacity ~ %.0f rps (%d servers x %v service), deadline %v, %d open-loop clients\n",
+		capacity, nServers, sim.Time(0).Add(service).Sub(0), sim.Time(0).Add(deadline).Sub(0), nClients)
+
+	type row struct {
+		factor                        float64
+		offered, good, failed, capped int
+		shed, overload                int64
+		p99                           sim.Duration
+	}
+
+	run := func(factor float64, reliabOn bool, churn string) row {
+		c := hostos.NewCluster(*seed, nodes, hostos.DefaultClusterConfig())
+		defer c.Shutdown()
+		m := reliab.NewMetrics()
+		stop := false
+
+		var servers []*rpc.Server
+		for si := 0; si < nServers; si++ {
+			opts := rpc.Options{Queue: queue, Metrics: m}
+			if !reliabOn {
+				// Ablation: effectively unbounded FIFO, deadlines ignored.
+				opts = rpc.Options{Queue: 1 << 20, NoShed: true, NoBreaker: true, Metrics: m}
+			}
+			s, err := rpc.NewServerOpts(c.Nodes[si], key, opts)
+			if err != nil {
+				fmt.Printf("server: %v\n", err)
+				return row{}
+			}
+			node := c.Nodes[si]
+			s.Register(1, func(p *sim.Proc, args []byte) ([]byte, error) {
+				node.Compute(p, service)
+				return args, nil
+			})
+			srv := s
+			node.Spawn("degrade-server", func(p *sim.Proc) {
+				for !stop {
+					worked := srv.Poll(p) > 0
+					if srv.Step(p) {
+						worked = true
+					}
+					if !worked {
+						p.Sleep(5 * sim.Microsecond)
+					}
+				}
+			})
+			servers = append(servers, s)
+		}
+
+		if churn != "" {
+			pl, err := fault.Parse(churn)
+			if err != nil {
+				fmt.Printf("churn plan: %v\n", err)
+				return row{}
+			}
+			pl.Apply(c)
+		}
+
+		end := sim.Time(0).Add(measure)
+		perClient := capacity * factor / float64(nClients)
+		meanGap := float64(sim.Second) / perClient
+		var offered, good, failed, capped int
+		var lats []sim.Duration
+
+		type callRec struct {
+			pc       *rpc.Pending
+			issued   sim.Time
+			deadline sim.Time // original end-to-end deadline, kept across retries
+			attempts int
+			payload  []byte
+		}
+
+		for ci := 0; ci < nClients; ci++ {
+			node := c.Nodes[nServers+ci]
+			target := servers[ci%nServers]
+			node.Spawn("degrade-client", func(p *sim.Proc) {
+				opts := rpc.Options{Metrics: m}
+				if !reliabOn {
+					opts.NoBreaker = true
+				}
+				cl, err := rpc.NewClientOpts(node, target.Name(), key, opts)
+				if err != nil {
+					fmt.Printf("client: %v\n", err)
+					return
+				}
+				rng := c.E.Rand()
+				var inflight []*callRec
+				next := sim.Time(0).Add(sim.Duration(rng.ExpFloat64() * meanGap))
+				issue := func(rec *callRec, dl sim.Time) {
+					rec.attempts++
+					pc, err := cl.GoCtx(p, 1, rec.payload, reliab.Ctx{Deadline: dl})
+					if err != nil {
+						failed++
+						return
+					}
+					rec.pc = pc
+					inflight = append(inflight, rec)
+				}
+				for {
+					now := p.Now()
+					// Open-loop arrivals: the world does not slow down when
+					// the system does.
+					for next <= now && now < end {
+						offered++
+						if len(inflight) < maxOut {
+							rec := &callRec{issued: now, deadline: now.Add(deadline),
+								payload: []byte{byte(offered)}}
+							issue(rec, rec.deadline)
+						} else {
+							capped++
+						}
+						next = next.Add(sim.Duration(rng.ExpFloat64() * meanGap))
+					}
+					// Harvest.
+					kept := inflight[:0]
+					for _, rec := range inflight {
+						_, done, err := rec.pc.TryWait(p)
+						switch {
+						case done && err == nil:
+							if now <= rec.deadline {
+								good++
+								lats = append(lats, now.Sub(rec.issued))
+							} else {
+								failed++
+							}
+						case done:
+							failed++
+						case now > rec.deadline && reliabOn:
+							// Deadline-aware: expired work is abandoned, not
+							// re-offered.
+							rec.pc.Abandon()
+							failed++
+						case now > rec.deadline.Add(deadline*sim.Duration(rec.attempts-1)) && !reliabOn:
+							// Ablation: blind retry with a fresh transport
+							// deadline (the user's deadline is long gone).
+							rec.pc.Abandon()
+							if rec.attempts < blindMax {
+								issue(rec, now.Add(deadline))
+							} else {
+								failed++
+							}
+						default:
+							kept = append(kept, rec)
+						}
+					}
+					inflight = kept
+					if now >= end && len(inflight) == 0 {
+						return
+					}
+					if now >= end.Add(20*sim.Millisecond) {
+						for _, rec := range inflight {
+							rec.pc.Abandon()
+							failed++
+						}
+						return
+					}
+					if cl.Poll(p) == 0 {
+						p.Sleep(10 * sim.Microsecond)
+					}
+				}
+			})
+		}
+
+		c.E.RunFor(measure + 50*sim.Millisecond)
+		stop = true
+		c.E.RunFor(sim.Millisecond)
+		r := row{factor: factor, offered: offered, good: good, failed: failed, capped: capped,
+			shed: m.Get("shed"), overload: m.Get("overload_nacks")}
+		if len(lats) > 0 {
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			r.p99 = lats[len(lats)*99/100]
+		}
+		return r
+	}
+
+	secs := float64(measure) / float64(sim.Second)
+	variants := []struct {
+		title   string
+		reliabs bool
+		churn   string
+	}{
+		{"reliability layer on", true, ""},
+		{"reliability layer off (ablation)", false, ""},
+		{"reliability layer on + fault churn", true, churnPlan},
+	}
+	peak := map[int]float64{}
+	at2x := map[int]float64{}
+	for vi, v := range variants {
+		fmt.Printf("\n-- %s --\n", v.title)
+		fmt.Printf("%-9s %12s %12s %10s %9s %8s %9s %8s\n",
+			"load", "offered/s", "goodput/s", "goodfrac", "p99_ms", "shed", "overload", "capped")
+		for _, f := range factors {
+			r := run(f, v.reliabs, v.churn)
+			goodput := float64(r.good) / secs
+			frac := 0.0
+			if r.offered > 0 {
+				frac = float64(r.good) / float64(r.offered)
+			}
+			fmt.Printf("%-9s %12.0f %12.0f %10.3f %9.2f %8d %9d %8d\n",
+				fmt.Sprintf("%.2fx", f), float64(r.offered)/secs, goodput, frac,
+				float64(r.p99)/float64(sim.Millisecond), r.shed, r.overload, r.capped)
+			if goodput > peak[vi] {
+				peak[vi] = goodput
+			}
+			if f == 2.0 {
+				at2x[vi] = goodput
+			}
+		}
+	}
+	if !*quick {
+		fmt.Println()
+		for vi, v := range variants {
+			pct := 0.0
+			if peak[vi] > 0 {
+				pct = 100 * at2x[vi] / peak[vi]
+			}
+			fmt.Printf("goodput at 2.0x offered: %3.0f%% of peak — %s\n", pct, v.title)
+		}
+	}
+}

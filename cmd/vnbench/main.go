@@ -17,6 +17,7 @@
 //	vnbench allreduce         ext.    collective algorithm sweep + SGD overlap
 //	vnbench breakdown         §4      per-stage latency decomposition via tracing
 //	vnbench tenants           ext.    multi-tenant metered WRR shares under overcommit
+//	vnbench degrade           ext.    graceful degradation: goodput vs offered load
 //	vnbench all               everything above
 //
 // Use -quick for smaller client sweeps and shorter windows. The golden
@@ -107,12 +108,13 @@ func main() {
 		"allreduce":        runAllreduce,
 		"breakdown":        runBreakdown,
 		"tenants":          runTenants,
+		"degrade":          runDegrade,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"logp", "bandwidth", "npb", "contention-small",
 			"contention-bulk", "linpack", "timeshare", "overcommit", "ablations",
 			"sensitivity", "migrate", "faults", "simperf", "allreduce", "breakdown",
-			"tenants"} {
+			"tenants", "degrade"} {
 			cmds[name]()
 		}
 		return

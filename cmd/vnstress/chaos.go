@@ -1,0 +1,258 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"virtnet/internal/fault"
+	"virtnet/internal/hostos"
+	"virtnet/internal/obs"
+	"virtnet/internal/reliab"
+	"virtnet/internal/rpc"
+	"virtnet/internal/sim"
+)
+
+// runChaos is the chaos-soak harness (-chaos): a seeded random fault
+// schedule (internal/fault.RandomPlan) torments the fabric while an
+// idempotent-keyed RPC population hammers two protected server nodes
+// through the reliability layer. At the end it checks the robustness
+// invariants:
+//
+//   - no hang: the cluster quiesces within a bounded settle window,
+//   - exactly-once effects: every idempotency key executed at most once,
+//     and every client-observed success executed exactly once, across
+//     crashes, retries, and duplicate deliveries,
+//   - zero leaks: client and server reliability bookkeeping (call buffers,
+//     re-issue records, admission queues, deferred retries) drains to zero
+//     on every surviving node,
+//   - trace integrity: every finalized obs flight's per-stage durations
+//     sum exactly to its end-to-end total.
+//
+// All randomness comes from the engine PRNG plus one dedicated plan
+// generator seeded with -seed, so two runs at the same seed are
+// byte-identical — CI diffs them.
+func runChaos() {
+	const (
+		nServers   = 2
+		key        = 95
+		deadline   = 20 * sim.Millisecond
+		attempts   = 3
+		staleAfter = 500 * sim.Millisecond
+	)
+	if *nodes < nServers+2 {
+		fatal("chaos soak needs at least %d nodes", nServers+2)
+	}
+	cfg := hostos.DefaultClusterConfig()
+	cfg.Net.DropProb = *drop
+	cl := hostos.NewCluster(*seed, *nodes, cfg)
+	defer cl.Shutdown()
+	o := cl.EnableObs(obs.Options{SampleEvery: 8, RingCap: 512})
+	m := reliab.NewMetrics()
+	m.Register(o.R)
+
+	leaves := (*nodes + cfg.Net.HostsPerLeaf - 1) / cfg.Net.HostsPerLeaf
+	plan := fault.RandomPlan(rand.New(rand.NewSource(*seed)), fault.ChaosConfig{
+		Events:       24,
+		Horizon:      sim.Duration(*duration * float64(sim.Second)),
+		MaxOutage:    50 * sim.Millisecond,
+		Nodes:        *nodes,
+		Leaves:       leaves,
+		Spines:       cfg.Net.Spines,
+		Crash:        true,
+		NoCrashBelow: nServers, // servers hold the invariant state
+	})
+	fmt.Printf("chaos plan: %s\n", plan)
+	plan.Apply(cl)
+	// Chaos crashes always restart, so Crashed() alone can't tell us which
+	// client procs died with their node; the plan can.
+	everCrashed := make(map[int]bool)
+	for _, n := range plan.CrashTargets() {
+		everCrashed[n] = true
+	}
+
+	stopAt := sim.Time(sim.Duration(*duration * float64(sim.Second)))
+	stop := false
+
+	// Protected servers: bounded admission, idempotency cache, shared
+	// metrics. The effects map is the exactly-once ledger.
+	effects := make(map[uint64]int)
+	var servers []*rpc.Server
+	for si := 0; si < nServers; si++ {
+		s, err := rpc.NewServerOpts(cl.Nodes[si], key, rpc.Options{
+			Queue: 64, IdemCap: 1 << 16, Metrics: m, StaleAfter: staleAfter,
+		})
+		if err != nil {
+			fatal("server: %v", err)
+		}
+		s.RegisterCtx(1, func(p *sim.Proc, ctx reliab.Ctx, args []byte) ([]byte, error) {
+			effects[ctx.IdemKey]++
+			return args, nil
+		})
+		srv := s
+		cl.Nodes[si].Spawn("chaos-server", func(p *sim.Proc) {
+			for !stop {
+				worked := srv.Poll(p) > 0
+				if srv.Step(p) {
+					worked = true
+				}
+				if !worked {
+					p.Sleep(5 * sim.Microsecond)
+				}
+			}
+		})
+		servers = append(servers, s)
+	}
+
+	// Client population on the crashable nodes: unique idempotency key per
+	// logical operation, bounded deadline, up to `attempts` re-attempts
+	// carrying the SAME key — the retry that must not double-execute.
+	nClients := *nodes - nServers
+	clients := make([]*rpc.Client, nClients)
+	clientDone := make([]bool, nClients)
+	succKeys := make(map[uint64]bool)
+	var calls, succ, failed int64
+	for ci := 0; ci < nClients; ci++ {
+		ci := ci
+		node := cl.Nodes[nServers+ci]
+		node.Spawn(fmt.Sprintf("chaos-client%d", ci), func(p *sim.Proc) {
+			c, err := rpc.NewClientOpts(node, servers[ci%nServers].Name(), key, rpc.Options{Metrics: m})
+			if err != nil {
+				fatal("client %d: %v", ci, err)
+			}
+			clients[ci] = c
+			rng := node.E.Rand()
+			for i := 0; p.Now() < stopAt; i++ {
+				opKey := uint64(nServers+ci)<<32 | uint64(i+1)
+				calls++
+				var ok bool
+				for a := 0; a < attempts && p.Now() < stopAt.Add(deadline); a++ {
+					_, err := c.CallCtx(p, 1, []byte{byte(i)},
+						reliab.Ctx{Deadline: p.Now().Add(deadline), IdemKey: opKey})
+					if err == nil {
+						ok = true
+						break
+					}
+					// Back off harder when the path (not just this call)
+					// is bad; the breaker has already gone fast-fail.
+					if errors.Is(err, rpc.ErrUnreachable) || errors.Is(err, rpc.ErrCircuitOpen) {
+						p.Sleep(5 * sim.Millisecond)
+					} else {
+						p.Sleep(sim.Millisecond)
+					}
+				}
+				if ok {
+					succ++
+					succKeys[opKey] = true
+				} else {
+					failed++
+				}
+				p.Sleep(sim.Duration(rng.Intn(400)+100) * sim.Microsecond)
+			}
+			// Drain: let stale results land and be acknowledged so both
+			// sides retire their re-issue bookkeeping.
+			until := p.Now().Add(2 * staleAfter)
+			for p.Now() < until {
+				if c.Poll(p) == 0 {
+					p.Sleep(100 * sim.Microsecond)
+				}
+			}
+			clientDone[ci] = true
+		})
+	}
+
+	// No-hang invariant: everything must settle within a bounded window
+	// after the load stops (transport retry schedules + stale sweeps).
+	limit := stopAt.Add(10 * sim.Second)
+	for cl.E.Now() < limit {
+		cl.E.RunFor(50 * sim.Millisecond)
+		if cl.E.Now() < stopAt.Add(2*staleAfter) {
+			continue
+		}
+		settled := true
+		for ci := range clientDone {
+			if !clientDone[ci] && !everCrashed[nServers+ci] {
+				settled = false
+			}
+		}
+		if settled {
+			break
+		}
+	}
+	for ci := range clientDone {
+		if !clientDone[ci] && !everCrashed[nServers+ci] {
+			fatal("INVARIANT VIOLATION: client %d hung (no-hang)", ci)
+		}
+	}
+	// Run past the sweep horizon so servers reclaim partial calls from
+	// crashed clients, then stop the server loops.
+	cl.E.RunFor(2 * staleAfter)
+	stop = true
+	cl.E.RunFor(10 * sim.Millisecond)
+
+	crashed := 0
+	for ci := range clientDone {
+		if !clientDone[ci] {
+			crashed++
+		}
+	}
+	fmt.Printf("chaos traffic: %d ops, %d ok, %d gave up, %d clients lost to crashes\n",
+		calls, succ, failed, crashed)
+
+	// Exactly-once effects: no key may execute twice, and every key the
+	// client observed as a success must have executed.
+	dups, total := 0, 0
+	for _, n := range effects {
+		total++
+		if n > 1 {
+			dups++
+		}
+	}
+	for k := range succKeys {
+		if effects[k] == 0 {
+			fatal("INVARIANT VIOLATION: op %d succeeded at the client but never executed", k)
+		}
+	}
+	if dups > 0 {
+		fatal("INVARIANT VIOLATION: %d of %d idempotency keys executed more than once", dups, total)
+	}
+	fmt.Printf("exactly-once holds: %d keys executed, 0 duplicates, %d client-confirmed\n",
+		total, len(succKeys))
+
+	// Zero leaks: every surviving party's reliability bookkeeping is empty.
+	for si, s := range servers {
+		if calls, reissues, queued, deferred := s.Outstanding(); calls+reissues+queued+deferred != 0 {
+			fatal("INVARIANT VIOLATION: server %d leaked state: calls=%d reissues=%d queued=%d deferred=%d",
+				si, calls, reissues, queued, deferred)
+		}
+	}
+	for ci, c := range clients {
+		if c == nil || !clientDone[ci] {
+			continue
+		}
+		if results, reissues, deferred := c.Outstanding(); results+reissues+deferred != 0 {
+			fatal("INVARIANT VIOLATION: client %d leaked state: results=%d reissues=%d deferred=%d",
+				ci, results, reissues, deferred)
+		}
+	}
+	fmt.Println("zero leaks: all call buffers, re-issue records, and deferred retries drained")
+
+	// Trace integrity: per-stage durations of every finalized flight sum
+	// exactly to its total.
+	checked := 0
+	for _, f := range o.T.Flights() {
+		var sum sim.Duration
+		for _, d := range f.StageTotals() {
+			sum += d
+		}
+		if sum != f.Total() {
+			fatal("INVARIANT VIOLATION: flight %d/%d stage sum %v != total %v",
+				f.TraceID, f.Span, sum, f.Total())
+		}
+		checked++
+	}
+	fmt.Printf("trace integrity: %d sampled flights, stage sums exact\n", checked)
+
+	fmt.Print(o.R.DashboardSection("reliab"))
+	fmt.Printf("final sim time %v\n", sim.Duration(cl.E.Now()))
+}

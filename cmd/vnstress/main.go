@@ -66,6 +66,7 @@ var (
 	migr       = flag.Bool("migrate", true, "live-migrate peer endpoints during the run")
 	faultplan  = flag.String("faultplan", "", "scripted fault schedule (internal/fault syntax), e.g. link:3-7@0.2s+0.5s,crash:node9@1s")
 	collOn     = flag.Bool("coll", false, "soak the collective engine with continuous allreduce rounds")
+	chaos      = flag.Bool("chaos", false, "run the chaos soak: random fault schedule + idempotent RPC population with exactly-once/leak/trace invariants")
 	dash       = flag.Bool("dash", false, "print the unified metrics dashboard every 100 ms of simulated time")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -115,6 +116,10 @@ func main() {
 				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 			}
 		}()
+	}
+	if *chaos {
+		runChaos()
+		return
 	}
 	cfg := hostos.DefaultClusterConfig()
 	cfg.Net.DropProb = *drop

@@ -34,12 +34,30 @@ type MonitorConfig struct {
 	Misses int
 	// Key protects the heartbeat endpoints' virtual network.
 	Key core.Key
+
+	// Flap damping. A node that dies again within FlapWindow of its last
+	// reinstatement is flapping; each such death doubles the probation its
+	// next Reinstate must sit out (ProbationBase growing to ProbationMax)
+	// before the node is republished to the scheduler and name service.
+	// Without damping a flapping node makes the whole cluster churn: every
+	// death requeues its gang jobs and every reinstate re-places them, at
+	// the flap frequency. FlapWindow == 0 disables damping.
+	FlapWindow    sim.Duration
+	ProbationBase sim.Duration
+	ProbationMax  sim.Duration
 }
 
 // DefaultMonitorConfig: 10 ms beats, dead after 5 missed (50 ms of silence —
-// an order of magnitude past the default firmware-reboot outage).
+// an order of magnitude past the default firmware-reboot outage). Flap
+// damping on: a re-death within 500 ms of reinstatement starts probation at
+// 100 ms, doubling to a 5 s ceiling.
 func DefaultMonitorConfig() MonitorConfig {
-	return MonitorConfig{Interval: 10 * sim.Millisecond, Misses: 5, Key: 0x68656274} // "hebt"
+	return MonitorConfig{
+		Interval: 10 * sim.Millisecond, Misses: 5, Key: 0x68656274, // "hebt"
+		FlapWindow:    500 * sim.Millisecond,
+		ProbationBase: 100 * sim.Millisecond,
+		ProbationMax:  5 * sim.Second,
+	}
 }
 
 // Monitor is the GLUnix health service: every node runs a beater thread
@@ -63,10 +81,18 @@ type Monitor struct {
 	beatGen  []int // per-node beater generation; stale beaters retire themselves
 	onDead   []func(p *sim.Proc, node int)
 
+	// Flap damping state (see MonitorConfig).
+	lastReinst []sim.Time     // when each node was last reinstated (0: never)
+	probation  []sim.Duration // current probation before the next reinstate
+	reinstGen  []int          // cancels a pending delayed reinstate on re-death
+	pending    []bool         // a delayed reinstate is scheduled
+
 	// Deaths counts nodes declared dead.
 	Deaths int
 	// Beats counts heartbeats received by the master.
 	Beats int64
+	// Probations counts reinstatements delayed by flap damping.
+	Probations int
 }
 
 // NewMonitor starts the health service with its master on node home. sched
@@ -82,9 +108,13 @@ func NewMonitor(c *hostos.Cluster, sched *Scheduler, names NameService, home int
 		names:    names,
 		cfg:      cfg,
 		home:     home,
-		lastBeat: make([]sim.Time, len(c.Nodes)),
-		deadN:    make([]bool, len(c.Nodes)),
-		beatGen:  make([]int, len(c.Nodes)),
+		lastBeat:   make([]sim.Time, len(c.Nodes)),
+		deadN:      make([]bool, len(c.Nodes)),
+		beatGen:    make([]int, len(c.Nodes)),
+		lastReinst: make([]sim.Time, len(c.Nodes)),
+		probation:  make([]sim.Duration, len(c.Nodes)),
+		reinstGen:  make([]int, len(c.Nodes)),
+		pending:    make([]bool, len(c.Nodes)),
 	}
 	now := c.E.Now()
 	for i := range m.lastBeat {
@@ -177,6 +207,24 @@ func (m *Monitor) startBeater(i int) error {
 func (m *Monitor) declareDead(n int) {
 	m.deadN[n] = true
 	m.Deaths++
+	m.reinstGen[n]++ // cancel any pending delayed reinstate
+	m.pending[n] = false
+	now := m.c.E.Now()
+	if m.cfg.FlapWindow > 0 && m.lastReinst[n] > 0 && now.Sub(m.lastReinst[n]) <= m.cfg.FlapWindow {
+		// Died again right after coming back: flapping. Double the probation
+		// its next reinstatement must wait out.
+		if m.probation[n] < m.cfg.ProbationBase {
+			m.probation[n] = m.cfg.ProbationBase
+		} else if m.probation[n] < m.cfg.ProbationMax {
+			m.probation[n] *= 2
+			if m.probation[n] > m.cfg.ProbationMax {
+				m.probation[n] = m.cfg.ProbationMax
+			}
+		}
+	} else {
+		// A death after a stable stretch is a fresh incident, not a flap.
+		m.probation[n] = 0
+	}
 	if m.sched != nil {
 		m.sched.NodeDead(n)
 	}
@@ -204,14 +252,42 @@ func (m *Monitor) Dead(n int) bool { return m.deadN[n] }
 // A crash killed the old beater with the node; after a partition-declared
 // death the old beater survives, and starting its successor bumps the
 // generation so the survivor retires instead of beating in duplicate.
+//
+// A node on flap probation is not republished immediately: the reinstate is
+// scheduled after the probation elapses (and silently cancelled if the node
+// is declared dead yet again first). Calling Reinstate while one is already
+// scheduled is a no-op.
 func (m *Monitor) Reinstate(n int) error {
-	if !m.deadN[n] {
+	if !m.deadN[n] || m.pending[n] {
 		return nil
 	}
+	if prob := m.probation[n]; prob > 0 {
+		m.Probations++
+		m.pending[n] = true
+		gen := m.reinstGen[n]
+		m.c.E.Schedule(prob, func() {
+			if m.reinstGen[n] != gen || !m.pending[n] {
+				return // superseded by a re-death
+			}
+			m.pending[n] = false
+			_ = m.reinstateNow(n)
+		})
+		return nil
+	}
+	return m.reinstateNow(n)
+}
+
+// reinstateNow performs the actual republish.
+func (m *Monitor) reinstateNow(n int) error {
 	m.deadN[n] = false
-	m.lastBeat[n] = m.c.E.Now()
+	now := m.c.E.Now()
+	m.lastBeat[n] = now
+	m.lastReinst[n] = now
 	if m.sched != nil {
 		m.sched.NodeRecovered(n)
 	}
 	return m.startBeater(n)
 }
+
+// Probation reports node n's current flap probation (0: none).
+func (m *Monitor) Probation(n int) sim.Duration { return m.probation[n] }

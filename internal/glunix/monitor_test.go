@@ -179,12 +179,14 @@ func TestReinstateRedeathAfterPartition(t *testing.T) {
 		t.Fatalf("after second partition: dead=%v deaths=%d, want re-death", mon.Dead(2), mon.Deaths)
 	}
 
-	// And a second reinstate works just the same.
+	// And a second reinstate works just the same — except that dying twice
+	// in quick succession looks like a flap, so this one sits out the base
+	// probation before the node is republished.
 	c.Net.SetHostLinkDown(2, false)
 	if err := mon.Reinstate(2); err != nil {
 		t.Fatal(err)
 	}
-	c.E.RunFor(100 * sim.Millisecond)
+	c.E.RunFor(100*sim.Millisecond + DefaultMonitorConfig().ProbationBase)
 	if mon.Dead(2) {
 		t.Fatal("second reinstate did not stick")
 	}
@@ -194,3 +196,76 @@ func TestReinstateRedeathAfterPartition(t *testing.T) {
 }
 
 const time500ms = 500 * sim.Millisecond
+
+// runFlapper drives a hostile flap loop against node 2 for the given span:
+// partition until declared dead, heal and reinstate, wait for republish,
+// flap again after a token uptime. Returns the monitor for inspection.
+func runFlapper(t *testing.T, seed int64, cfg MonitorConfig, span sim.Duration) (*Monitor, *Scheduler) {
+	t.Helper()
+	c := hostos.NewCluster(seed, 3, hostos.DefaultClusterConfig())
+	t.Cleanup(c.Shutdown)
+	s := NewScheduler(c)
+	mon, err := NewMonitor(c, s, nil, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A width-3 gang occupies the flapping node, so every death requeues it:
+	// the requeue churn the damping is there to bound.
+	if _, err := s.Submit(3, func(p *sim.Proc, rank int, nodes []*hostos.Node) {
+		for {
+			p.Sleep(10 * sim.Millisecond)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Nodes[0].Spawn("flapper", func(p *sim.Proc) {
+		for {
+			c.Net.SetHostLinkDown(2, true)
+			for !mon.Dead(2) {
+				p.Sleep(5 * sim.Millisecond)
+			}
+			c.Net.SetHostLinkDown(2, false)
+			if err := mon.Reinstate(2); err != nil {
+				t.Errorf("reinstate: %v", err)
+				return
+			}
+			for mon.Dead(2) {
+				p.Sleep(5 * sim.Millisecond)
+			}
+			p.Sleep(10 * sim.Millisecond)
+		}
+	})
+	c.E.RunFor(span)
+	return mon, s
+}
+
+// TestFlapDampingBoundsRequeueChurn: a flapping node with damping disabled
+// churns the scheduler at the flap frequency; with the default exponential
+// probation the same hostile flapper causes a small, bounded number of
+// death/requeue cycles over the same span.
+func TestFlapDampingBoundsRequeueChurn(t *testing.T) {
+	span := 3 * sim.Second
+	undampedCfg := DefaultMonitorConfig()
+	undampedCfg.FlapWindow = 0
+	undamped, us := runFlapper(t, 21, undampedCfg, span)
+	damped, ds := runFlapper(t, 21, DefaultMonitorConfig(), span)
+
+	if undamped.Deaths < 10 {
+		t.Fatalf("flapper too tame: undamped deaths = %d", undamped.Deaths)
+	}
+	if damped.Deaths*2 > undamped.Deaths {
+		t.Fatalf("damping ineffective: %d deaths vs %d undamped", damped.Deaths, undamped.Deaths)
+	}
+	if ds.Requeued*2 > us.Requeued {
+		t.Fatalf("requeue churn not bounded: %d vs %d undamped", ds.Requeued, us.Requeued)
+	}
+	if damped.Probations == 0 {
+		t.Fatal("no reinstatement was ever put on probation")
+	}
+	if damped.Probation(2) < 2*DefaultMonitorConfig().ProbationBase {
+		t.Fatalf("probation did not grow: %v", damped.Probation(2))
+	}
+	if undamped.Probations != 0 {
+		t.Fatalf("undamped monitor took probations: %d", undamped.Probations)
+	}
+}

@@ -216,6 +216,34 @@ func (r *Registry) Dashboard() string {
 	return b.String()
 }
 
+// DashboardSection renders just the metrics under one name prefix
+// ("reliab", "nic", ...) as aligned text, sorted by name with zero values
+// omitted — the Dashboard format restricted to prefix+".". Layers use it
+// to print their own section (e.g. the reliability section the chaos soak
+// emits) without dumping the whole cluster's metrics.
+func (r *Registry) DashboardSection(prefix string) string {
+	if r == nil {
+		return ""
+	}
+	cur := r.Snapshot()
+	var vals []KV
+	for _, kv := range cur.Vals {
+		if strings.HasPrefix(kv.Name, prefix+".") {
+			vals = append(vals, kv)
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Name < vals[j].Name })
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s @ %v ==\n", prefix, cur.At.Sub(0))
+	for _, kv := range vals {
+		if kv.Value == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-40s %14s\n", kv.Name, fmtVal(kv.Value))
+	}
+	return b.String()
+}
+
 func fmtVal(v float64) string {
 	if v == float64(int64(v)) {
 		return fmt.Sprintf("%d", int64(v))

@@ -1,0 +1,47 @@
+package reliab
+
+import (
+	"math/rand"
+
+	"virtnet/internal/sim"
+)
+
+// BackoffConfig shapes deterministic exponential backoff.
+type BackoffConfig struct {
+	// Base is the nominal delay before the first retry (default 100 µs).
+	Base sim.Duration
+	// Cap bounds the exponential growth (default 20 ms).
+	Cap sim.Duration
+}
+
+func (c BackoffConfig) withDefaults() BackoffConfig {
+	if c.Base <= 0 {
+		c.Base = 100 * sim.Microsecond
+	}
+	if c.Cap <= 0 {
+		c.Cap = 20 * sim.Millisecond
+	}
+	return c
+}
+
+// Delay returns the backoff before retry number attempt (0-based):
+// exponential growth with equal jitter — half the nominal delay fixed,
+// half uniform — so concurrent retriers desynchronize without any delay
+// ever collapsing to zero. rng must be the engine's seeded PRNG so replays
+// stay byte-identical; a nil rng yields the un-jittered midpoint.
+func (c BackoffConfig) Delay(attempt int, rng *rand.Rand) sim.Duration {
+	c = c.withDefaults()
+	d := c.Base
+	for i := 0; i < attempt && d < c.Cap; i++ {
+		d *= 2
+	}
+	if d > c.Cap {
+		d = c.Cap
+	}
+	half := int64(d) / 2
+	j := half / 2
+	if rng != nil && half > 0 {
+		j = rng.Int63n(half + 1)
+	}
+	return sim.Duration(half + j)
+}

@@ -1,0 +1,143 @@
+package reliab
+
+import "virtnet/internal/sim"
+
+// BreakerState enumerates the circuit-breaker states.
+type BreakerState int
+
+const (
+	// Closed: traffic flows; consecutive failures are counted.
+	Closed BreakerState = iota
+	// Open: calls fast-fail with ErrCircuitOpen until a probe is due.
+	Open
+	// HalfOpen: exactly one probe call is in flight; its outcome decides.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "?"
+}
+
+// BreakerConfig tunes a per-peer circuit breaker.
+type BreakerConfig struct {
+	// Threshold consecutive failures open the breaker (default 4).
+	Threshold int
+	// Cooldown before the first half-open probe (default 25 ms); it
+	// doubles on every probe failure up to MaxCooldown (default 1 s).
+	Cooldown    sim.Duration
+	MaxCooldown sim.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 4
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 25 * sim.Millisecond
+	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = sim.Second
+	}
+	return c
+}
+
+// Breaker is a per-peer circuit breaker over ErrUnreachable/timeout
+// failures: enough consecutive failures open it, open calls fail fast
+// without touching the wire, and recovery is probed — either after an
+// exponentially growing cooldown or early when an external health source
+// (the glunix monitor) reports the peer alive again.
+type Breaker struct {
+	cfg       BreakerConfig
+	state     BreakerState
+	fails     int
+	openedAt  sim.Time
+	cool      sim.Duration
+	lastProbe sim.Time
+	health    func() bool
+	m         *Metrics
+}
+
+// NewBreaker returns a closed breaker. m may be nil.
+func NewBreaker(cfg BreakerConfig, m *Metrics) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), m: m}
+}
+
+// SetHealth installs an external liveness source. While the breaker is
+// open, a healthy verdict admits a half-open probe ahead of the cooldown —
+// rate-limited to half a cooldown between probes, so a wrong monitor
+// cannot turn the breaker into a hot retry loop.
+func (b *Breaker) SetHealth(alive func() bool) { b.health = alive }
+
+// State reports the current breaker state.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Allow reports whether a call may be issued now. In the open state a true
+// return is the half-open probe: exactly one caller gets it, and its
+// Success or Failure decides the breaker's fate.
+func (b *Breaker) Allow(now sim.Time) bool {
+	switch b.state {
+	case Closed:
+		return true
+	case HalfOpen:
+		return false // the probe is already in flight
+	}
+	due := now.Sub(b.openedAt) >= b.cool
+	if !due && b.health != nil && b.health() && now.Sub(b.lastProbe) >= b.cool/2 {
+		due = true
+	}
+	if !due {
+		return false
+	}
+	b.state = HalfOpen
+	b.lastProbe = now
+	b.m.Inc("breaker_halfopen")
+	return true
+}
+
+// Success records a completed call (any response from the peer counts —
+// even an overload NACK proves it is alive).
+func (b *Breaker) Success(now sim.Time) {
+	if b.state != Closed {
+		b.m.Inc("breaker_close")
+	}
+	b.state = Closed
+	b.fails = 0
+	b.cool = 0
+}
+
+// Failure records an ErrUnreachable or timeout outcome.
+func (b *Breaker) Failure(now sim.Time) {
+	switch b.state {
+	case HalfOpen:
+		b.reopen(now)
+	case Closed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.reopen(now)
+		}
+	}
+	// Failures of calls already in flight when the breaker opened change
+	// nothing: the cooldown clock is already running.
+}
+
+func (b *Breaker) reopen(now sim.Time) {
+	if b.cool == 0 {
+		b.cool = b.cfg.Cooldown
+	} else {
+		b.cool *= 2
+		if b.cool > b.cfg.MaxCooldown {
+			b.cool = b.cfg.MaxCooldown
+		}
+	}
+	b.state = Open
+	b.openedAt = now
+	b.m.Inc("breaker_open")
+}

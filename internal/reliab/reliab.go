@@ -1,0 +1,89 @@
+// Package reliab is the reliability layer threaded through the RPC, VIA
+// and sockets stacks: deadline propagation with deadline-aware load
+// shedding, per-peer token-bucket retry budgets with deterministic
+// exponential backoff, per-peer circuit breakers, bounded admission
+// queues, and an idempotency cache for exactly-once effects under retry.
+//
+// The paper's §5 argument is that a virtual network must stay well-behaved
+// when demand exceeds physical resources; the fabric layers reproduce that
+// with endpoint overcommit and NI frame scheduling, and this package is
+// the application-level counterpart: under overload, work that can no
+// longer meet its deadline is dropped before it wastes capacity, retries
+// are rate-limited by construction, and unreachable peers fail fast
+// instead of accumulating blocked callers.
+//
+// Determinism: every random draw (backoff jitter) comes from a caller-
+// supplied PRNG — in practice the engine's seeded one — and all clocks are
+// virtual, so a soak under this layer replays byte-identically per seed.
+package reliab
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"virtnet/internal/sim"
+)
+
+// Typed failures. They are distinct errors so callers can tell "the peer
+// is overloaded, back off" from "the peer is gone, fail over".
+var (
+	// ErrCircuitOpen is a client-side fast failure: the per-peer breaker
+	// opened after consecutive transport failures and the call was never
+	// sent.
+	ErrCircuitOpen = errors.New("reliab: circuit open")
+	// ErrOverload is the server-side admission NACK: the bounded handler
+	// queue was full of unexpired work, so the call was rejected unserved.
+	ErrOverload = errors.New("reliab: server overloaded")
+	// ErrDeadlineExceeded reports that a call's absolute deadline passed
+	// before it produced a result — shed at the server, or never issued.
+	ErrDeadlineExceeded = errors.New("reliab: deadline exceeded")
+)
+
+// Ctx is the per-call reliability context that propagates across the wire:
+// an absolute virtual-time deadline (0 = none) and an idempotency key
+// (0 = none). A nested call passes its Ctx down unchanged, so the callee
+// inherits exactly the remaining budget — the deadline is absolute, not a
+// relative timeout that would reset at every tier.
+type Ctx struct {
+	Deadline sim.Time
+	IdemKey  uint64
+}
+
+// HeaderLen is the encoded size of a Ctx on the wire.
+const HeaderLen = 16
+
+// Encode writes the wire header into dst[:HeaderLen].
+func (c Ctx) Encode(dst []byte) {
+	binary.LittleEndian.PutUint64(dst[0:8], uint64(c.Deadline))
+	binary.LittleEndian.PutUint64(dst[8:16], c.IdemKey)
+}
+
+// DecodeCtx splits an on-wire request into its reliability header and the
+// application payload.
+func DecodeCtx(wire []byte) (Ctx, []byte) {
+	if len(wire) < HeaderLen {
+		return Ctx{}, wire
+	}
+	c := Ctx{
+		Deadline: sim.Time(binary.LittleEndian.Uint64(wire[0:8])),
+		IdemKey:  binary.LittleEndian.Uint64(wire[8:16]),
+	}
+	return c, wire[HeaderLen:]
+}
+
+// Expired reports whether the deadline has passed at virtual time now.
+func (c Ctx) Expired(now sim.Time) bool {
+	return c.Deadline != 0 && now >= c.Deadline
+}
+
+// Remaining returns the budget left before the deadline: zero when
+// expired, effectively unbounded when no deadline is set.
+func (c Ctx) Remaining(now sim.Time) sim.Duration {
+	if c.Deadline == 0 {
+		return sim.Duration(1 << 62)
+	}
+	if now >= c.Deadline {
+		return 0
+	}
+	return c.Deadline.Sub(now)
+}

@@ -1,0 +1,238 @@
+package reliab
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"virtnet/internal/obs"
+	"virtnet/internal/sim"
+)
+
+func TestCtxWireRoundTrip(t *testing.T) {
+	ctx := Ctx{Deadline: sim.Time(12345678), IdemKey: 0xDEADBEEF}
+	wire := make([]byte, HeaderLen+3)
+	ctx.Encode(wire)
+	copy(wire[HeaderLen:], []byte{1, 2, 3})
+	got, body := DecodeCtx(wire)
+	if got != ctx {
+		t.Fatalf("round trip: got %+v want %+v", got, ctx)
+	}
+	if len(body) != 3 || body[0] != 1 || body[2] != 3 {
+		t.Fatalf("body corrupted: %v", body)
+	}
+	if ctx.Expired(sim.Time(12345677)) || !ctx.Expired(sim.Time(12345678)) {
+		t.Fatal("Expired boundary wrong")
+	}
+	if ctx.Remaining(sim.Time(12345670)) != 8 {
+		t.Fatalf("Remaining = %d", ctx.Remaining(sim.Time(12345670)))
+	}
+	none := Ctx{}
+	if none.Expired(1 << 40) {
+		t.Fatal("no-deadline ctx must never expire")
+	}
+}
+
+func TestBudgetRefill(t *testing.T) {
+	b := NewBudget(BudgetConfig{Capacity: 2, Refill: 100 * sim.Millisecond})
+	now := sim.Time(0)
+	if !b.Allow(now) || !b.Allow(now) {
+		t.Fatal("initial burst denied")
+	}
+	if b.Allow(now) {
+		t.Fatal("empty bucket allowed a retry")
+	}
+	now = now.Add(100 * sim.Millisecond)
+	if !b.Allow(now) {
+		t.Fatal("refilled token denied")
+	}
+	if b.Allow(now) {
+		t.Fatal("only one token should have refilled")
+	}
+	// Long idle refills back to capacity, not beyond.
+	now = now.Add(10 * sim.Second)
+	if got := b.Tokens(now); got != 2 {
+		t.Fatalf("tokens after idle = %d, want capacity 2", got)
+	}
+}
+
+func TestBackoffGrowsAndStaysBounded(t *testing.T) {
+	cfg := BackoffConfig{Base: 100 * sim.Microsecond, Cap: 1 * sim.Millisecond}
+	rng := rand.New(rand.NewSource(7))
+	prev := sim.Duration(0)
+	for attempt := 0; attempt < 10; attempt++ {
+		d := cfg.Delay(attempt, rng)
+		nominal := cfg.Base
+		for i := 0; i < attempt && nominal < cfg.Cap; i++ {
+			nominal *= 2
+		}
+		if nominal > cfg.Cap {
+			nominal = cfg.Cap
+		}
+		if d < nominal/2 || d > nominal {
+			t.Fatalf("attempt %d: delay %v outside [%v,%v]", attempt, d, nominal/2, nominal)
+		}
+		if attempt < 3 && d <= prev/4 {
+			t.Fatalf("attempt %d: delay %v did not grow from %v", attempt, d, prev)
+		}
+		prev = d
+	}
+	// Same seed, same schedule: the determinism contract.
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 20; i++ {
+		if cfg.Delay(i, a) != cfg.Delay(i, b) {
+			t.Fatal("backoff not deterministic per seed")
+		}
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	m := NewMetrics()
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: 10 * sim.Millisecond, MaxCooldown: 40 * sim.Millisecond}, m)
+	now := sim.Time(0)
+	for i := 0; i < 3; i++ {
+		if !b.Allow(now) {
+			t.Fatal("closed breaker denied a call")
+		}
+		b.Failure(now)
+	}
+	if b.State() != Open {
+		t.Fatalf("state after threshold failures = %v", b.State())
+	}
+	if b.Allow(now.Add(5 * sim.Millisecond)) {
+		t.Fatal("open breaker allowed a call before cooldown")
+	}
+	now = now.Add(10 * sim.Millisecond)
+	if !b.Allow(now) {
+		t.Fatal("cooldown elapsed but no probe")
+	}
+	if b.State() != HalfOpen || b.Allow(now) {
+		t.Fatal("half-open must admit exactly one probe")
+	}
+	b.Failure(now) // probe failed: reopen with doubled cooldown
+	if b.State() != Open {
+		t.Fatal("failed probe did not reopen")
+	}
+	if b.Allow(now.Add(15 * sim.Millisecond)) {
+		t.Fatal("cooldown did not double after failed probe")
+	}
+	now = now.Add(20 * sim.Millisecond)
+	if !b.Allow(now) {
+		t.Fatal("second probe not admitted")
+	}
+	b.Success(now)
+	if b.State() != Closed || !b.Allow(now) {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if m.Get("breaker_open") != 2 || m.Get("breaker_close") != 1 {
+		t.Fatalf("counters: open=%d close=%d", m.Get("breaker_open"), m.Get("breaker_close"))
+	}
+}
+
+func TestBreakerHealthProbeRidesMonitor(t *testing.T) {
+	alive := false
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: sim.Second}, nil)
+	b.SetHealth(func() bool { return alive })
+	b.Failure(0)
+	if b.State() != Open {
+		t.Fatal("breaker did not open")
+	}
+	if b.Allow(10 * 1000 * 1000) { // 10ms: cooldown far away, peer still dead
+		t.Fatal("probe admitted while monitor says dead")
+	}
+	alive = true
+	now := sim.Time(600 * sim.Millisecond) // past cool/2 since lastProbe, before cooldown
+	if !b.Allow(now) {
+		t.Fatal("healthy verdict did not admit an early probe")
+	}
+	if b.State() != HalfOpen {
+		t.Fatal("early probe did not half-open")
+	}
+}
+
+func TestAdmitQueueShedsExpiredFirst(t *testing.T) {
+	m := NewMetrics()
+	q := NewAdmitQueue(2, m)
+	now := sim.Time(0)
+	if _, ok := q.Admit(now, Ctx{Deadline: 100}, "a"); !ok {
+		t.Fatal("admit a")
+	}
+	if _, ok := q.Admit(now, Ctx{Deadline: 5000}, "b"); !ok {
+		t.Fatal("admit b")
+	}
+	// Full of unexpired work: reject.
+	if _, ok := q.Admit(sim.Time(50), Ctx{Deadline: 5000}, "c"); ok {
+		t.Fatal("overload not signalled")
+	}
+	// After a's deadline, admitting evicts it rather than rejecting.
+	evicted, ok := q.Admit(sim.Time(200), Ctx{Deadline: 5000}, "d")
+	if !ok || len(evicted) != 1 || evicted[0].V.(string) != "a" {
+		t.Fatalf("evict: ok=%v evicted=%v", ok, evicted)
+	}
+	if m.Get("shed") != 1 {
+		t.Fatalf("shed counter = %d", m.Get("shed"))
+	}
+	if it, ok := q.Pop(); !ok || it.V.(string) != "b" {
+		t.Fatalf("pop order wrong: %v", it.V)
+	}
+	if it, ok := q.Pop(); !ok || it.V.(string) != "d" {
+		t.Fatalf("pop order wrong: %v", it.V)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestIdemCacheBoundedFIFO(t *testing.T) {
+	m := NewMetrics()
+	c := NewIdemCache(2, m)
+	c.Put(IdemKey{1, 1}, "one")
+	c.Put(IdemKey{1, 2}, "two")
+	c.Put(IdemKey{1, 3}, "three") // evicts {1,1}
+	if _, ok := c.Get(IdemKey{1, 1}); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if v, ok := c.Get(IdemKey{1, 2}); !ok || v.(string) != "two" {
+		t.Fatal("retained entry lost")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if m.Get("idem_hits") != 1 {
+		t.Fatalf("idem_hits = %d", m.Get("idem_hits"))
+	}
+}
+
+// TestReliabilityDashboardSection is the snapshot test for the dashboard's
+// reliability section: counters and the backoff histogram registered under
+// the "reliab" prefix render there, and nothing else leaks in.
+func TestReliabilityDashboardSection(t *testing.T) {
+	e := sim.NewEngine(1)
+	r := obs.NewRegistry(e)
+	m := NewMetrics()
+	m.Register(r)
+	r.AddGauge("other.gauge", func() float64 { return 9 })
+
+	m.Inc("shed")
+	m.Add("retries", 3)
+	m.Inc("breaker_open")
+	m.Inc("deadline_exceeded")
+	m.ObserveBackoff(200 * sim.Microsecond)
+	m.ObserveBackoff(400 * sim.Microsecond)
+
+	got := r.DashboardSection("reliab")
+	want := "== reliab @ 0ns ==\n" +
+		"reliab.backoff.count                                  2\n" +
+		"reliab.backoff.mean_us                              300\n" +
+		"reliab.breaker_open                                   1\n" +
+		"reliab.deadline_exceeded                              1\n" +
+		"reliab.retries                                        3\n" +
+		"reliab.shed                                           1\n"
+	if got != want {
+		t.Fatalf("dashboard section snapshot mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if strings.Contains(got, "other.gauge") {
+		t.Fatal("section leaked foreign metrics")
+	}
+}

@@ -14,10 +14,12 @@ package sockets
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"virtnet/internal/core"
 	"virtnet/internal/hostos"
 	"virtnet/internal/nic"
+	"virtnet/internal/reliab"
 	"virtnet/internal/sim"
 )
 
@@ -41,7 +43,10 @@ var (
 // maxSegReissues bounds how often a returned stream segment is re-sent
 // before the connection is declared broken. Each re-issue already spans the
 // NI's full retry schedule plus the return-to-sender delay, so this covers
-// link flaps and firmware reboots; a peer dark beyond that is down.
+// link flaps and firmware reboots; a peer dark beyond that is down. The
+// per-connection retry budget (reliab.Budget) additionally bounds the
+// aggregate re-send rate so a flapping fabric cannot amplify a window of
+// in-flight segments into a retry storm.
 const maxSegReissues = 3
 
 // segment size: one MTU-sized bulk message minus headroom.
@@ -139,6 +144,24 @@ type Conn struct {
 	err error
 	// reissues counts return-to-sender re-sends per unacked segment.
 	reissues map[uint64]int
+
+	// Retry shaping: bounced segments are re-sent on a deterministic
+	// exponential-backoff schedule, gated by a per-connection token budget.
+	// Return handlers run inside Poll and must not sleep, so retries are
+	// parked here and flushed by pump() from the blocking loops.
+	budget   *reliab.Budget
+	backoff  reliab.BackoffConfig
+	rng      *rand.Rand
+	deferred []deferredSeg
+	m        *reliab.Metrics
+}
+
+// deferredSeg is one backoff-delayed segment re-send.
+type deferredSeg struct {
+	due     sim.Time
+	seq     uint64
+	payload []byte
+	args    [4]uint64
 }
 
 func newConn(node *hostos.Node, key core.Key) (*Conn, error) {
@@ -148,7 +171,8 @@ func newConn(node *hostos.Node, key core.Key) (*Conn, error) {
 		return nil, err
 	}
 	c := &Conn{node: node, bundle: b, ep: ep,
-		oos: make(map[uint64][]byte), reissues: make(map[uint64]int)}
+		oos: make(map[uint64][]byte), reissues: make(map[uint64]int),
+		budget: reliab.NewBudget(reliab.BudgetConfig{}), rng: node.E.Rand()}
 	ep.SetHandler(hData, c.onData)
 	ep.SetHandler(hDataAck, c.onDataAck)
 	ep.SetHandler(hFin, c.onFin)
@@ -161,10 +185,20 @@ func newConn(node *hostos.Node, key core.Key) (*Conn, error) {
 		case hData:
 			seq := args[0]
 			if dstIdx >= 0 && reason != nic.NackNoEndpoint && reason != nic.NackBadKey &&
-				c.reissues[seq] < maxSegReissues {
-				c.reissues[seq]++
-				_ = c.ep.RequestBulk(p, dstIdx, hData, payload, args)
+				c.reissues[seq] < maxSegReissues && c.budget.Allow(p.Now()) {
+				n := c.reissues[seq]
+				c.reissues[seq] = n + 1
+				d := c.backoff.Delay(n, c.rng)
+				c.m.Inc("retries")
+				c.m.ObserveBackoff(d)
+				c.deferred = append(c.deferred, deferredSeg{
+					due: p.Now().Add(d), seq: seq,
+					payload: append([]byte(nil), payload...), args: args,
+				})
 				return
+			}
+			if dstIdx >= 0 && reason != nic.NackNoEndpoint && reason != nic.NackBadKey {
+				c.m.Inc("retry_denied")
 			}
 			c.fail()
 		case hFin, hFinAck:
@@ -183,6 +217,43 @@ func (c *Conn) fail() {
 	if c.err == nil {
 		c.err = ErrPeerUnreachable
 	}
+}
+
+// SetMetrics points the connection at a shared reliability metrics set
+// (nil is fine and records nothing).
+func (c *Conn) SetMetrics(m *reliab.Metrics) { c.m = m }
+
+// pump re-sends deferred segments whose backoff has elapsed; it returns
+// the number flushed. A segment acknowledged while it waited (its reissue
+// record is gone) is dropped instead of re-sent.
+func (c *Conn) pump(p *sim.Proc) int {
+	if len(c.deferred) == 0 {
+		return 0
+	}
+	now := p.Now()
+	sent := 0
+	kept := c.deferred[:0]
+	for _, d := range c.deferred {
+		switch {
+		case d.due > now:
+			kept = append(kept, d)
+		case c.err != nil || c.closed:
+			// Stream already broken or gone: drop silently.
+		default:
+			if _, pending := c.reissues[d.seq]; pending {
+				_ = c.ep.RequestBulk(p, 0, hData, d.payload, d.args)
+				sent++
+			}
+		}
+	}
+	c.deferred = kept
+	return sent
+}
+
+// poll services the endpoint and the deferred-retry queue; every blocking
+// loop in the connection spins on it.
+func (c *Conn) poll(p *sim.Proc) int {
+	return c.ep.Poll(p) + c.pump(p)
 }
 
 // Err returns the latched transport failure, if any.
@@ -238,7 +309,7 @@ func (c *Conn) Write(p *sim.Proc, data []byte) (int, error) {
 			end = len(data)
 		}
 		for c.nextSseq-c.acked >= window {
-			if c.ep.Poll(p) == 0 {
+			if c.poll(p) == 0 {
 				p.Sleep(5 * sim.Microsecond)
 			}
 			if c.closed {
@@ -271,7 +342,7 @@ func (c *Conn) Read(p *sim.Proc, max int) ([]byte, error) {
 		if c.err != nil {
 			return nil, c.err
 		}
-		if c.ep.Poll(p) == 0 {
+		if c.poll(p) == 0 {
 			p.Sleep(5 * sim.Microsecond)
 		}
 	}
@@ -301,7 +372,7 @@ func (c *Conn) ReadFull(p *sim.Proc, n int) ([]byte, error) {
 // breaks (check Err for the latter).
 func (c *Conn) Drain(p *sim.Proc) {
 	for c.acked < c.nextSseq && c.err == nil {
-		if c.ep.Poll(p) == 0 {
+		if c.poll(p) == 0 {
 			p.Sleep(5 * sim.Microsecond)
 		}
 	}
@@ -320,7 +391,7 @@ func (c *Conn) Close(p *sim.Proc) error {
 	if c.err == nil {
 		c.ep.Request(p, 0, hFin, [4]uint64{})
 		for !c.finAcked && c.err == nil {
-			if c.ep.Poll(p) == 0 {
+			if c.poll(p) == 0 {
 				p.Sleep(5 * sim.Microsecond)
 			}
 		}

@@ -16,9 +16,12 @@ package via
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"virtnet/internal/core"
 	"virtnet/internal/hostos"
+	"virtnet/internal/nic"
+	"virtnet/internal/reliab"
 	"virtnet/internal/sim"
 )
 
@@ -112,6 +115,28 @@ type VI struct {
 	recvCQ    *CQ
 	recvQ     []recvDesc
 	sends     int // outstanding sends awaiting the user-level ack
+
+	// Bounced sends (§3.2 return-to-sender) are retried on a budget-gated
+	// exponential-backoff schedule; once it is exhausted the descriptor
+	// completes in error (Length == -1) on the send CQ, matching the VIA's
+	// stance that reliability problems surface to the application. Return
+	// handlers cannot sleep, so retries park in deferred until Poll.
+	budget   *reliab.Budget
+	backoff  reliab.BackoffConfig
+	rng      *rand.Rand
+	reissues map[MemHandle]int
+	deferred []deferredSend
+	m        *reliab.Metrics
+}
+
+// maxSendReissues bounds re-sends of one bounced descriptor.
+const maxSendReissues = 3
+
+// deferredSend is one backoff-delayed descriptor re-send.
+type deferredSend struct {
+	due     sim.Time
+	payload []byte
+	args    [4]uint64
 }
 
 // CreateVI builds a VI whose completions go to the given queues (which may
@@ -123,11 +148,69 @@ func (n *NIC) CreateVI(sendCQ, recvCQ *CQ) (*VI, error) {
 	if err != nil {
 		return nil, err
 	}
-	vi := &VI{nic: n, ep: ep, bundle: b, sendCQ: sendCQ, recvCQ: recvCQ}
+	vi := &VI{nic: n, ep: ep, bundle: b, sendCQ: sendCQ, recvCQ: recvCQ,
+		budget:   reliab.NewBudget(reliab.BudgetConfig{}),
+		rng:      n.node.E.Rand(),
+		reissues: make(map[MemHandle]int)}
 	ep.SetHandler(hSend, vi.onRecv)
 	ep.SetHandler(hAck, vi.onAck)
+	ep.SetReturnHandler(vi.onReturn)
 	n.vis = append(n.vis, vi)
 	return vi, nil
+}
+
+// onReturn handles a send the fabric bounced back. Transient nacks retry on
+// the backoff schedule while budget lasts; permanent nacks and exhausted
+// retries complete the descriptor in error so the application learns the
+// send was lost (previously it vanished and Pending leaked forever).
+func (vi *VI) onReturn(p *sim.Proc, reason nic.NackReason, dstIdx, h int, args [4]uint64, payload []byte) {
+	if h != hSend {
+		return
+	}
+	mh := MemHandle(args[0])
+	if dstIdx >= 0 && reason != nic.NackNoEndpoint && reason != nic.NackBadKey &&
+		vi.reissues[mh] < maxSendReissues && vi.budget.Allow(p.Now()) {
+		n := vi.reissues[mh]
+		vi.reissues[mh] = n + 1
+		d := vi.backoff.Delay(n, vi.rng)
+		vi.m.Inc("retries")
+		vi.m.ObserveBackoff(d)
+		vi.deferred = append(vi.deferred, deferredSend{
+			due: p.Now().Add(d), payload: append([]byte(nil), payload...), args: args,
+		})
+		return
+	}
+	if dstIdx >= 0 && reason != nic.NackNoEndpoint && reason != nic.NackBadKey {
+		vi.m.Inc("retry_denied")
+	}
+	delete(vi.reissues, mh)
+	vi.sends--
+	vi.sendCQ.entries = append(vi.sendCQ.entries, Completion{
+		VI: vi, IsRecv: false, Handle: mh, Length: -1,
+	})
+}
+
+// SetMetrics points the VI at a shared reliability metrics set (nil-safe).
+func (vi *VI) SetMetrics(m *reliab.Metrics) { vi.m = m }
+
+// pump flushes deferred re-sends whose backoff has elapsed.
+func (vi *VI) pump(p *sim.Proc) int {
+	if len(vi.deferred) == 0 {
+		return 0
+	}
+	now := p.Now()
+	sent := 0
+	kept := vi.deferred[:0]
+	for _, d := range vi.deferred {
+		if d.due > now {
+			kept = append(kept, d)
+			continue
+		}
+		_ = vi.ep.RequestBulk(p, 0, hSend, d.payload, d.args)
+		sent++
+	}
+	vi.deferred = kept
+	return sent
 }
 
 // Addr returns the VI's connection address.
@@ -191,14 +274,15 @@ func (vi *VI) onRecv(p *sim.Proc, tok *core.Token, args [4]uint64, payload []byt
 
 func (vi *VI) onAck(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte) {
 	vi.sends--
+	delete(vi.reissues, MemHandle(args[0]))
 	vi.sendCQ.entries = append(vi.sendCQ.entries, Completion{
 		VI: vi, IsRecv: false, Handle: MemHandle(args[0]),
 	})
 }
 
 // Poll services the VI's backing endpoint so handlers (and therefore
-// completions) run.
-func (vi *VI) Poll(p *sim.Proc) int { return vi.ep.Poll(p) }
+// completions) run, and flushes any backoff-deferred re-sends that are due.
+func (vi *VI) Poll(p *sim.Proc) int { return vi.ep.Poll(p) + vi.pump(p) }
 
 // Pending reports outstanding (unacknowledged) sends.
 func (vi *VI) Pending() int { return vi.sends }

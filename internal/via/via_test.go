@@ -245,3 +245,53 @@ func TestFullMeshConnectivity(t *testing.T) {
 		t.Fatalf("finished = %d/%d", finished, n)
 	}
 }
+
+// TestBouncedSendCompletesInError: a send to a crashed peer used to vanish
+// silently, leaking Pending forever. Now it is retried on the backoff
+// schedule and, once retries are exhausted, completes in error
+// (Length == -1) on the send CQ with the outstanding-send count drained.
+func TestBouncedSendCompletesInError(t *testing.T) {
+	c := newCluster(t, 2)
+	na := Open(c.Nodes[0])
+	nb := Open(c.Nodes[1])
+	cqA, cqAr := NewCQ(), NewCQ()
+	cqB, cqBr := NewCQ(), NewCQ()
+	va, _ := na.CreateVI(cqA, cqAr)
+	vb, _ := nb.CreateVI(cqB, cqBr)
+	an, ak := va.Addr()
+	bn, bk := vb.Addr()
+	va.Connect(bn, bk)
+	vb.Connect(an, ak)
+	src := na.RegisterMemory([]byte("doomed"))
+
+	c.E.Schedule(sim.Millisecond, func() { c.Nodes[1].Crash() })
+	var comp Completion
+	got := false
+	c.Nodes[0].Spawn("send", func(p *sim.Proc) {
+		p.Sleep(2 * sim.Millisecond) // after the crash
+		if err := va.PostSend(p, src, 6); err != nil {
+			t.Errorf("send: %v", err)
+			return
+		}
+		if va.Pending() != 1 {
+			t.Errorf("pending = %d after post", va.Pending())
+		}
+		for cqA.Len() == 0 {
+			va.Poll(p)
+			p.Sleep(50 * sim.Microsecond)
+		}
+		comp, got = cqA.Poll()
+	})
+	// Each bounce costs the NI retry schedule + return-to-sender delay, and
+	// the descriptor is re-sent maxSendReissues times before giving up.
+	c.E.RunFor(10 * sim.Second)
+	if !got {
+		t.Fatal("no send completion arrived")
+	}
+	if comp.IsRecv || comp.Handle != src || comp.Length != -1 {
+		t.Fatalf("bad error completion: %+v", comp)
+	}
+	if va.Pending() != 0 {
+		t.Fatalf("pending leaked: %d", va.Pending())
+	}
+}
