@@ -57,6 +57,9 @@ var (
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceout   = flag.String("traceout", "", "write a Perfetto-compatible trace of the breakdown short-AM phase to this file")
 	metrics    = flag.Bool("metrics", false, "print metrics-registry dashboards after instrumented experiments")
+	shards     = flag.Int("shards", 1, "simperf: engine shards (1 = classic single engine)")
+	hosts      = flag.Int("hosts", 0, "simperf: cluster size override (0 = the golden sections)")
+	sweep      = flag.Bool("sweep", false, "simperf: shard-scaling sweep on the 1,024-host workload (stderr, machine-dependent)")
 )
 
 func main() {
@@ -626,20 +629,25 @@ func runMigrate() {
 	fmt.Printf("worst client-observed service gap: %v (covers blackout + redirect retries)\n", maxGap)
 }
 
-// runSimPerf is the event-engine self-benchmark (tentpole of the engine
-// overhaul): 8 client/server pairs on a 16-node cluster stream small requests
-// to completion. Virtual-time metrics (deterministic) go to stdout and are
-// captured in results_simperf.txt; wall-clock throughput and allocation rates
-// are machine-dependent and printed to stderr only.
-func runSimPerf() {
-	header("simperf — event-engine self-benchmark (16-node stream)")
-	cfg := bench.SimPerfConfig{Pairs: 8, Msgs: 10000, Seed: *seed}
+// bigSimPerf is the 1,024-host scaling workload: 512 pairs on the
+// three-level fat tree, ~25% of the streams crossing leaves (and shards).
+func bigSimPerf(nshards int) bench.SimPerfConfig {
+	cfg := bench.SimPerfConfig{Hosts: 1024, Pairs: 512, Msgs: 60, Seed: *seed, Shards: nshards}
 	if *quick {
-		cfg.Msgs = 2000
+		cfg.Msgs = 15
 	}
-	res := bench.RunSimPerf(cfg)
+	return cfg
+}
+
+// printSimPerf prints one simperf section: deterministic virtual-time
+// metrics to stdout (golden), wall-clock rates to stderr.
+func printSimPerf(cfg bench.SimPerfConfig, res bench.SimPerfResult) {
 	msgs := float64(res.Replied)
-	fmt.Printf("pairs=%d nodes=%d msgs/client=%d\n", cfg.Pairs, 2*cfg.Pairs, cfg.Msgs)
+	nodes := 2 * cfg.Pairs
+	if cfg.Hosts > 0 {
+		nodes = cfg.Hosts
+	}
+	fmt.Printf("pairs=%d nodes=%d msgs/client=%d\n", cfg.Pairs, nodes, cfg.Msgs)
 	fmt.Printf("virtual: replied=%d time=%v rate=%.0f msgs/s\n",
 		res.Replied, res.Virtual, res.MsgsPerSec)
 	s := res.Engine
@@ -654,6 +662,54 @@ func runSimPerf() {
 		"wall-clock (machine-dependent, not golden): %.3fs, %.2fM events/s, %.0f ns/event, %.1f allocs/msg\n",
 		res.Wall.Seconds(), ev/res.Wall.Seconds()/1e6,
 		float64(res.Wall.Nanoseconds())/ev, float64(res.Mallocs)/msgs)
+}
+
+// runSimPerf is the event-engine self-benchmark (tentpole of the engine
+// overhaul): client/server pairs stream small requests to completion.
+// With default flags it prints the two golden sections — the original
+// 16-node stream and the 1,024-host single-shard baseline — both captured
+// in results_simperf.txt. -hosts/-shards run one custom section instead;
+// -sweep appends a shard-scaling sweep (1/2/4/8 shards on the 1,024-host
+// workload) whose wall-clock speedups go to stderr only.
+func runSimPerf() {
+	if *hosts != 0 || *shards != 1 {
+		cfg := bench.SimPerfConfig{Pairs: 8, Msgs: 10000, Seed: *seed, Shards: *shards, Hosts: *hosts}
+		if *hosts != 0 {
+			cfg = bigSimPerf(*shards)
+			cfg.Hosts = *hosts
+			cfg.Pairs = *hosts / 2
+		}
+		if *quick {
+			cfg.Msgs /= 4
+		}
+		header(fmt.Sprintf("simperf — event-engine self-benchmark (%d hosts, %d shards)",
+			max(cfg.Hosts, 2*cfg.Pairs), *shards))
+		printSimPerf(cfg, bench.RunSimPerf(cfg))
+	} else {
+		header("simperf — event-engine self-benchmark (16-node stream)")
+		cfg := bench.SimPerfConfig{Pairs: 8, Msgs: 10000, Seed: *seed}
+		if *quick {
+			cfg.Msgs = 2000
+		}
+		printSimPerf(cfg, bench.RunSimPerf(cfg))
+
+		header("simperf — 1,024-host cluster baseline (1 shard)")
+		big := bigSimPerf(1)
+		printSimPerf(big, bench.RunSimPerf(big))
+	}
+	if *sweep {
+		fmt.Fprintf(os.Stderr, "shard-scaling sweep (1,024 hosts; wall-clock, machine-dependent):\n")
+		base := 0.0
+		for _, n := range []int{1, 2, 4, 8} {
+			res := bench.RunSimPerf(bigSimPerf(n))
+			evs := float64(res.EventsRun) / res.Wall.Seconds()
+			if n == 1 {
+				base = evs
+			}
+			fmt.Fprintf(os.Stderr, "  shards=%d  events/s=%.2fM  speedup=%.2fx  replied=%d\n",
+				n, evs/1e6, evs/base, res.Replied)
+		}
+	}
 }
 
 // runAllreduce sweeps the collective engine's algorithms over vector sizes

@@ -68,6 +68,8 @@ var (
 	collOn     = flag.Bool("coll", false, "soak the collective engine with continuous allreduce rounds")
 	chaos      = flag.Bool("chaos", false, "run the chaos soak: random fault schedule + idempotent RPC population with exactly-once/leak/trace invariants")
 	dash       = flag.Bool("dash", false, "print the unified metrics dashboard every 100 ms of simulated time")
+	shardsoak  = flag.Bool("shardsoak", false, "run the sharded-engine soak: mixed local/cross-shard traffic + node-scoped fault churn on a sharded cluster")
+	shards     = flag.Int("shards", 2, "engine shards for -shardsoak (1 = classic single engine)")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
@@ -116,6 +118,10 @@ func main() {
 				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 			}
 		}()
+	}
+	if *shardsoak {
+		runShardSoak()
+		return
 	}
 	if *chaos {
 		runChaos()

@@ -23,6 +23,17 @@ type SimPerfConfig struct {
 	// sampling over the same workload. 0 leaves observability entirely off —
 	// the baseline hot path the overhead-guard benchmarks compare against.
 	TraceSample int
+
+	// Hosts, when > 0, sizes the cluster explicitly (Pairs defaults to
+	// Hosts/2) and switches to the scaled placement: pair i is hosts
+	// (2i, 2i+1) — same leaf — except every fourth pair in the lower half
+	// swaps clients with its upper-half partner, so ~25% of the traffic
+	// crosses leaves (and shards). Clusters of 512+ hosts get a three-level
+	// fat tree (8 hosts/leaf, 4 pod spines, 16 leaves/pod, 8 cores).
+	// 0 keeps the classic 2*Pairs layout on the default 100-node topology.
+	Hosts int
+	// Shards partitions the engine; 0 or 1 is the classic single engine.
+	Shards int
 }
 
 // SimPerfResult separates deterministic virtual-time metrics (safe to golden)
@@ -45,12 +56,48 @@ type SimPerfResult struct {
 // to completion, and reports both metric sets.
 func RunSimPerf(cfg SimPerfConfig) SimPerfResult {
 	if cfg.Pairs == 0 {
-		cfg.Pairs = 8
+		if cfg.Hosts > 0 {
+			cfg.Pairs = cfg.Hosts / 2
+		} else {
+			cfg.Pairs = 8
+		}
 	}
 	if cfg.Msgs == 0 {
 		cfg.Msgs = 10000
 	}
-	cl := hostos.NewCluster(cfg.Seed, 2*cfg.Pairs, hostos.DefaultClusterConfig())
+	nhosts := 2 * cfg.Pairs
+	ccfg := hostos.DefaultClusterConfig()
+	if cfg.Hosts > 0 {
+		nhosts = cfg.Hosts
+		if 2*cfg.Pairs > nhosts {
+			cfg.Pairs = nhosts / 2
+		}
+		if nhosts >= 512 {
+			ccfg.Net.HostsPerLeaf = 8
+			ccfg.Net.Spines = 4
+			ccfg.Net.LeavesPerPod = 16
+			ccfg.Net.Cores = 8
+		}
+	}
+	// place maps pair i to its (server, client) hosts. The classic layout
+	// (Hosts == 0) is servers then clients, unchanged from the original
+	// benchmark; the scaled layout colocates each pair on one leaf and then
+	// swaps every fourth lower-half pair's client with its upper-half
+	// partner's, mixing local and cross-shard streams.
+	place := func(i int) (srv, cli int) {
+		if cfg.Hosts == 0 {
+			return i, cfg.Pairs + i
+		}
+		srv, cli = 2*i, 2*i+1
+		half := cfg.Pairs / 2
+		if i < half && i%4 == 0 {
+			cli = 2*(i+half) + 1
+		} else if j := i - half; j >= 0 && j%4 == 0 && j < half {
+			cli = 2*j + 1
+		}
+		return
+	}
+	cl := hostos.NewShardedCluster(cfg.Seed, nhosts, cfg.Shards, ccfg)
 	defer cl.Shutdown()
 	if cfg.TraceSample > 0 {
 		cl.EnableObs(obs.Options{SampleEvery: cfg.TraceSample})
@@ -65,8 +112,9 @@ func RunSimPerf(cfg SimPerfConfig) SimPerfResult {
 	for i := 0; i < cfg.Pairs; i++ {
 		ps := &pairState{}
 		states[i] = ps
-		srvNode := cl.Nodes[i]
-		cliNode := cl.Nodes[cfg.Pairs+i]
+		srvHost, cliHost := place(i)
+		srvNode := cl.Nodes[srvHost]
+		cliNode := cl.Nodes[cliHost]
 
 		sb := core.Attach(srvNode)
 		sep, err := sb.NewEndpoint(core.Key(100+i), 8)
@@ -110,13 +158,13 @@ func RunSimPerf(cfg SimPerfConfig) SimPerfResult {
 		})
 	}
 
-	before := cl.E.Stats()
+	before := cl.EngineStats()
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	t0 := time.Now()
 	deadline := sim.Time(0).Add(300 * sim.Second)
-	for cl.E.Now() < deadline {
-		cl.E.RunFor(10 * sim.Millisecond)
+	for cl.Now() < deadline {
+		cl.RunFor(10 * sim.Millisecond)
 		all := true
 		for _, ps := range states {
 			all = all && ps.done
@@ -127,7 +175,7 @@ func RunSimPerf(cfg SimPerfConfig) SimPerfResult {
 	}
 	wall := time.Since(t0)
 	runtime.ReadMemStats(&ms1)
-	after := cl.E.Stats()
+	after := cl.EngineStats()
 
 	res := SimPerfResult{
 		Cfg:       cfg,

@@ -280,40 +280,62 @@ func mod(i, n int) int {
 	return i
 }
 
-// Apply schedules every event of the plan onto the cluster's engine,
+// Apply schedules every event of the plan onto the cluster's engine(s),
 // relative to the current virtual time (call it before running the
 // workload). Indices are reduced modulo the cluster's dimensions so plans
 // are portable across topologies.
+//
+// On a sharded cluster, fabric-wide faults (switch and uplink outages,
+// all-link burst loss, corruption) are replicated onto every shard's
+// network replica at the same virtual instant — each replica checks those
+// links on the paths it charges, so they must all agree. Host-scoped
+// faults (access-link outages, host burst loss, NI reboots, node crashes)
+// touch state that only the owning shard's replica ever consults, so they
+// are scheduled once, on the owning node's engine. With one shard both
+// cases degenerate to exactly the classic event sequence.
 func (pl *Plan) Apply(c *hostos.Cluster) {
-	net := c.Net
-	cfg := net.Config()
+	cfg := c.Net.Config()
+	// fabric replicates a mutation onto every shard's replica; owned
+	// schedules it only on host h's shard. Apply runs while the shards are
+	// parked at a common barrier, so same-offset schedules land at the same
+	// virtual instant everywhere.
+	fabric := func(at sim.Duration, fn func(net *netsim.Network)) {
+		for s := 0; s < c.Shards(); s++ {
+			net := c.ShardNet(s)
+			c.ShardEngine(s).Schedule(at, func() { fn(net) })
+		}
+	}
+	owned := func(h netsim.NodeID, at sim.Duration, fn func(net *netsim.Network)) {
+		net := c.NetFor(h)
+		c.EngineFor(h).Schedule(at, func() { fn(net) })
+	}
 	for _, ev := range pl.Events {
 		ev := ev
 		switch ev.Kind {
 		case SpineDown:
-			s := mod(ev.A, cfg.Spines)
-			c.E.Schedule(ev.At, func() { net.SetSpineDown(s, true) })
+			s := mod(ev.A, c.Net.TotalSpines())
+			fabric(ev.At, func(net *netsim.Network) { net.SetSpineDown(s, true) })
 			if ev.Dur > 0 {
-				c.E.Schedule(ev.At+ev.Dur, func() { net.SetSpineDown(s, false) })
+				fabric(ev.At+ev.Dur, func(net *netsim.Network) { net.SetSpineDown(s, false) })
 			}
 		case UplinkDown:
-			l := mod(ev.A, net.Leaves())
+			l := mod(ev.A, c.Net.Leaves())
 			s := mod(ev.B, cfg.Spines)
-			c.E.Schedule(ev.At, func() { net.SetUplinkDown(l, s, true) })
+			fabric(ev.At, func(net *netsim.Network) { net.SetUplinkDown(l, s, true) })
 			if ev.Dur > 0 {
-				c.E.Schedule(ev.At+ev.Dur, func() { net.SetUplinkDown(l, s, false) })
+				fabric(ev.At+ev.Dur, func(net *netsim.Network) { net.SetUplinkDown(l, s, false) })
 			}
 		case HostLinkDown:
-			h := netsim.NodeID(mod(ev.A, net.NumHosts()))
-			c.E.Schedule(ev.At, func() { net.SetHostLinkDown(h, true) })
+			h := netsim.NodeID(mod(ev.A, c.Net.NumHosts()))
+			owned(h, ev.At, func(net *netsim.Network) { net.SetHostLinkDown(h, true) })
 			if ev.Dur > 0 {
-				c.E.Schedule(ev.At+ev.Dur, func() { net.SetHostLinkDown(h, false) })
+				owned(h, ev.At+ev.Dur, func(net *netsim.Network) { net.SetHostLinkDown(h, false) })
 			}
 		case LeafDown:
-			l := mod(ev.A, net.Leaves())
-			c.E.Schedule(ev.At, func() { net.SetLeafDown(l, true) })
+			l := mod(ev.A, c.Net.Leaves())
+			fabric(ev.At, func(net *netsim.Network) { net.SetLeafDown(l, true) })
 			if ev.Dur > 0 {
-				c.E.Schedule(ev.At+ev.Dur, func() { net.SetLeafDown(l, false) })
+				fabric(ev.At+ev.Dur, func(net *netsim.Network) { net.SetLeafDown(l, false) })
 			}
 		case BurstLoss:
 			bp := netsim.DefaultBurstParams()
@@ -321,22 +343,22 @@ func (pl *Plan) Apply(c *hostos.Cluster) {
 				bp.LossBad = ev.P
 			}
 			if ev.A < 0 {
-				c.E.Schedule(ev.At, func() { net.SetAllBurstLoss(bp, true) })
+				fabric(ev.At, func(net *netsim.Network) { net.SetAllBurstLoss(bp, true) })
 				if ev.Dur > 0 {
-					c.E.Schedule(ev.At+ev.Dur, func() { net.SetAllBurstLoss(bp, false) })
+					fabric(ev.At+ev.Dur, func(net *netsim.Network) { net.SetAllBurstLoss(bp, false) })
 				}
 			} else {
-				h := netsim.NodeID(mod(ev.A, net.NumHosts()))
-				c.E.Schedule(ev.At, func() { net.SetHostBurstLoss(h, bp, true) })
+				h := netsim.NodeID(mod(ev.A, c.Net.NumHosts()))
+				owned(h, ev.At, func(net *netsim.Network) { net.SetHostBurstLoss(h, bp, true) })
 				if ev.Dur > 0 {
-					c.E.Schedule(ev.At+ev.Dur, func() { net.SetHostBurstLoss(h, bp, false) })
+					owned(h, ev.At+ev.Dur, func(net *netsim.Network) { net.SetHostBurstLoss(h, bp, false) })
 				}
 			}
 		case Corrupt:
 			p := ev.P
-			c.E.Schedule(ev.At, func() { net.SetCorruptProb(p) })
+			fabric(ev.At, func(net *netsim.Network) { net.SetCorruptProb(p) })
 			if ev.Dur > 0 {
-				c.E.Schedule(ev.At+ev.Dur, func() { net.SetCorruptProb(0) })
+				fabric(ev.At+ev.Dur, func(net *netsim.Network) { net.SetCorruptProb(0) })
 			}
 		case NICReboot:
 			n := c.Nodes[mod(ev.A, len(c.Nodes))]
@@ -344,12 +366,12 @@ func (pl *Plan) Apply(c *hostos.Cluster) {
 			if outage <= 0 {
 				outage = DefaultRebootOutage
 			}
-			c.E.Schedule(ev.At, func() { n.NIC.Reboot(outage) })
+			n.E.Schedule(ev.At, func() { n.NIC.Reboot(outage) })
 		case NodeCrash:
 			n := c.Nodes[mod(ev.A, len(c.Nodes))]
-			c.E.Schedule(ev.At, func() { n.Crash() })
+			n.E.Schedule(ev.At, func() { n.Crash() })
 			if ev.Dur > 0 {
-				c.E.Schedule(ev.At+ev.Dur, func() { n.Restart() })
+				n.E.Schedule(ev.At+ev.Dur, func() { n.Restart() })
 			}
 		}
 	}

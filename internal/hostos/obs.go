@@ -3,6 +3,7 @@ package hostos
 import (
 	"fmt"
 
+	"virtnet/internal/netsim"
 	"virtnet/internal/obs"
 )
 
@@ -17,14 +18,32 @@ import (
 // draw from the engine PRNG; runs with tracing enabled are bit-reproducible
 // against each other but take a different random stream than untraced runs.
 // Metrics-only (SampleEvery == 0) draws nothing and perturbs nothing.
+//
+// On a sharded cluster each shard gets its own observability layer on its
+// own engine — a node's counters register with its shard's registry, so no
+// registry is ever touched from two shards — and the flight recorder is
+// forced off: a sampled flight rides the packet across the fabric, and a
+// trace context must not cross a shard boundary. MergedSnapshot stitches
+// the per-shard registries back into one deterministic stream. The fabric
+// aggregate gauges (net.sent and friends) read every replica's counters,
+// so snapshot only between runs, while the shards are parked at a barrier.
 func (c *Cluster) EnableObs(opt obs.Options) *obs.Obs {
-	o := obs.New(c.E, len(c.Nodes), opt)
+	if c.Coord != nil {
+		opt.SampleEvery = 0
+	}
+	c.shardObs = nil
+	for s := 0; s < c.Shards(); s++ {
+		c.shardObs = append(c.shardObs, obs.New(c.ShardEngine(s), len(c.Nodes), opt))
+	}
 	for _, n := range c.Nodes {
+		sh := c.shardIdxOf(n.ID)
+		o := c.shardObs[sh]
 		n.Obs = o
 		o.R.AddCounters(fmt.Sprintf("nic.n%d", int(n.ID)), n.NIC.C)
 		o.R.AddCounters(fmt.Sprintf("drv.n%d", int(n.ID)), n.Driver.C)
 		nic := n.NIC
 		id := n.ID
+		net := c.ShardNet(sh)
 		o.R.AddGauge(fmt.Sprintf("nic.n%d.free_frames", int(n.ID)), func() float64 {
 			return float64(nic.FreeFrames())
 		})
@@ -33,16 +52,17 @@ func (c *Cluster) EnableObs(opt obs.Options) *obs.Obs {
 			return float64(inb)
 		})
 		o.R.AddGauge(fmt.Sprintf("net.n%d.blocked", int(n.ID)), func() float64 {
-			return float64(c.Net.Blocked(id))
+			return float64(net.Blocked(id))
 		})
 	}
-	o.R.AddGauge("net.sent", func() float64 { return float64(c.Net.Sent) })
-	o.R.AddGauge("net.delivered", func() float64 { return float64(c.Net.Delivered) })
-	o.R.AddGauge("net.dropped", func() float64 { return float64(c.Net.Dropped) })
-	o.R.AddGauge("net.corrupted", func() float64 { return float64(c.Net.Corrupted) })
-	o.R.AddFunc("link", func() []obs.KV {
+	o0 := c.shardObs[0]
+	o0.R.AddGauge("net.sent", func() float64 { s, _, _, _ := c.NetTotals(); return float64(s) })
+	o0.R.AddGauge("net.delivered", func() float64 { _, d, _, _ := c.NetTotals(); return float64(d) })
+	o0.R.AddGauge("net.dropped", func() float64 { _, _, d, _ := c.NetTotals(); return float64(d) })
+	o0.R.AddGauge("net.corrupted", func() float64 { _, _, _, x := c.NetTotals(); return float64(x) })
+	o0.R.AddFunc("link", func() []obs.KV {
 		var out []obs.KV
-		for _, lc := range c.Net.PerLinkCounters() {
+		for _, lc := range c.linkCounters() {
 			if lc.Sent == 0 && lc.Dropped == 0 {
 				continue
 			}
@@ -53,13 +73,54 @@ func (c *Cluster) EnableObs(opt obs.Options) *obs.Obs {
 		}
 		return out
 	})
-	return o
+	return o0
+}
+
+// shardIdxOf returns the shard owning host id (0 for a classic cluster).
+func (c *Cluster) shardIdxOf(id netsim.NodeID) int {
+	if c.Fab == nil {
+		return 0
+	}
+	return c.Fab.ShardOf(id)
+}
+
+// linkCounters returns fabric-wide per-link counters: the single network's
+// for a classic cluster, merged across replicas for a sharded one.
+func (c *Cluster) linkCounters() []netsim.LinkCounters {
+	if c.Fab != nil {
+		return c.Fab.PerLinkCounters()
+	}
+	return c.Net.PerLinkCounters()
 }
 
 // Obs returns the cluster's observability layer, nil before EnableObs.
+// For a sharded cluster this is shard 0's layer, which carries the
+// fabric-wide aggregates.
 func (c *Cluster) Obs() *obs.Obs {
+	if len(c.shardObs) > 0 {
+		return c.shardObs[0]
+	}
 	if len(c.Nodes) == 0 {
 		return nil
 	}
 	return c.Nodes[0].Obs
+}
+
+// ShardObs returns shard s's observability layer (nil before EnableObs).
+func (c *Cluster) ShardObs(s int) *obs.Obs {
+	if len(c.shardObs) == 0 {
+		return nil
+	}
+	return c.shardObs[s]
+}
+
+// MergedSnapshot snapshots every shard's registry and merges them in shard
+// order — one deterministic metrics stream for the whole sharded cluster.
+// Call it only while the cluster is paused between runs.
+func (c *Cluster) MergedSnapshot() obs.Snap {
+	snaps := make([]obs.Snap, 0, len(c.shardObs))
+	for _, o := range c.shardObs {
+		snaps = append(snaps, o.R.Snapshot())
+	}
+	return obs.MergeSnaps(snaps)
 }

@@ -1,0 +1,318 @@
+// Sharded fabric: one Network replica per engine shard, joined by the
+// coordinator's cross-shard exchange.
+//
+// Shard assignment is leaf-aligned and contiguous — shard s owns the hosts
+// of leaves [s*L/S, (s+1)*L/S) — so it is a pure function of the topology
+// (hash-free, byte-stable across runs), and same-leaf traffic can never
+// cross a shard boundary. Each replica holds a full copy of the link
+// arrays; a replica only ever touches links on paths whose source or
+// destination host it owns, so no link state is shared between engines.
+//
+// Intra-shard packets take the classic single-engine path untouched. A
+// cross-shard packet splits its cut-through reservation at the path
+// midpoint: the source shard charges the first half (host uplink, leaf
+// uplink, and the core climb for cross-pod paths) against its replica,
+// estimates the second half on its own copies (serializing its own traffic
+// toward that receiver), and posts the packet through the exchange stamped
+// with its optimistic delivery time. The destination shard re-runs the
+// second half against its authoritative replica at apply time — receiver
+// admission gating, down links, burst loss, and last-hop contention all
+// happen where every packet for that host converges, so incast serializes
+// correctly — and delivers at the contention-adjusted time. What the split
+// gives up is cross-boundary stall propagation: a saturated receiver link
+// delays delivery but no longer back-pressures the sender's half of the
+// reservation (DESIGN §11 discusses the trade).
+//
+// The lookahead contract: a cross-shard path has at least 4 links (shards
+// are leaf-aligned, so a cross-shard pair is at least leaf-to-leaf), and
+// the posted timestamp is the full-path completion time, at least
+// 4*SwitchLatency past the send — hence Lookahead(cfg) = 4*SwitchLatency.
+package netsim
+
+import (
+	"fmt"
+
+	"virtnet/internal/sim"
+)
+
+// Lookahead returns the conservative synchronization window for a sharded
+// fabric with this config: the minimum virtual latency of any cross-shard
+// packet. SwitchLatency must be positive for sharded operation.
+func Lookahead(cfg Config) sim.Duration {
+	return 4 * cfg.SwitchLatency
+}
+
+// Fabric is a set of per-shard Network replicas over one topology.
+type Fabric struct {
+	cfg         Config
+	nhosts      int
+	nets        []*Network
+	shardOfHost []int32
+	leafLo      []int // shard s owns leaves [leafLo[s], leafLo[s+1])
+}
+
+// NewFabric builds one Network replica per coordinator shard for nhosts
+// hosts and wires them together. Hosts are assigned to shards by
+// contiguous leaf blocks.
+func NewFabric(coord *sim.Coordinator, cfg Config, nhosts int) *Fabric {
+	shards := coord.Shards()
+	f := &Fabric{nhosts: nhosts}
+	for i := 0; i < shards; i++ {
+		n := New(coord.Engine(i), cfg, nhosts)
+		n.fab, n.shard = f, i
+		f.nets = append(f.nets, n)
+	}
+	f.cfg = f.nets[0].cfg
+	nleaves := f.nets[0].nleaves
+	f.leafLo = make([]int, shards+1)
+	for s := 0; s <= shards; s++ {
+		f.leafLo[s] = s * nleaves / shards
+	}
+	f.shardOfHost = make([]int32, nhosts)
+	s := 0
+	for h := 0; h < nhosts; h++ {
+		l := f.nets[0].leafOf(NodeID(h))
+		for s+1 < shards && l >= f.leafLo[s+1] {
+			s++
+		}
+		f.shardOfHost[h] = int32(s)
+	}
+	return f
+}
+
+// Shards returns the number of replicas.
+func (f *Fabric) Shards() int { return len(f.nets) }
+
+// Shard returns shard i's Network replica. NICs and drivers of hosts owned
+// by shard i must attach to this replica.
+func (f *Fabric) Shard(i int) *Network { return f.nets[i] }
+
+// ShardOf returns the shard that owns host h.
+func (f *Fabric) ShardOf(h NodeID) int { return int(f.shardOfHost[h]) }
+
+// NumHosts returns the number of host ports.
+func (f *Fabric) NumHosts() int { return f.nhosts }
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Totals returns fabric-wide packet counters summed across replicas.
+// Cross-shard packets count Sent at the source replica and Delivered at
+// the destination replica, so the sums have the same meaning as a
+// standalone Network's counters.
+func (f *Fabric) Totals() (sent, delivered, dropped, corrupted int64) {
+	for _, n := range f.nets {
+		sent += n.Sent
+		delivered += n.Delivered
+		dropped += n.Dropped
+		corrupted += n.Corrupted
+	}
+	return
+}
+
+// PerLinkCounters merges every replica's per-link counters by link name,
+// in the fixed eachLink order. A physical link charged by two replicas (a
+// spine link split by a cross-shard reservation) reports the sum.
+func (f *Fabric) PerLinkCounters() []LinkCounters {
+	base := f.nets[0].PerLinkCounters()
+	idx := make(map[string]int, len(base))
+	for i := range base {
+		idx[base[i].Name] = i
+	}
+	for _, n := range f.nets[1:] {
+		for _, lc := range n.PerLinkCounters() {
+			b := &base[idx[lc.Name]]
+			b.Sent += lc.Sent
+			b.Delivered += lc.Delivered
+			b.Dropped += lc.Dropped
+		}
+	}
+	return base
+}
+
+// xfer is a cross-shard packet in the exchange: a by-value copy of the
+// packet's wire identity. The source shard's *Packet handle never crosses
+// the boundary — the destination allocates a fresh packet from its own
+// arena — so pooled objects stay shard-local (and the Parked flag a
+// destination sets can never be observed by a source-shard NI).
+type xfer struct {
+	src, dst NodeID
+	size     int
+	payload  any
+	control  bool
+	corrupt  bool
+	route    int
+	headAt   sim.Time // when the head reaches the first destination-half link
+}
+
+// sendCross injects a packet whose destination lives on another shard: the
+// source half of the path for real, the destination half as a local
+// estimate, then the exchange. The caller keeps its packet reference; no
+// transit reference is taken on this side.
+func (n *Network) sendCross(pkt *Packet, route int, dstShard int) {
+	n.Sent++
+	if n.cfg.DropProb > 0 && n.e.Rand().Float64() < n.cfg.DropProb {
+		n.Dropped++
+		n.hostUp[pkt.Src].dropped++
+		return
+	}
+	links := n.path(pkt.Src, pkt.Dst, route)
+	half := len(links) / 2
+	for _, L := range links[:half] {
+		L.sent++
+		if L.down {
+			L.dropped++
+			n.Dropped++
+			return
+		}
+		if g := L.ge; g != nil {
+			pl := g.lossGood
+			if g.bad {
+				pl = g.lossBad
+			}
+			if pl > 0 && n.e.Rand().Float64() < pl {
+				L.dropped++
+				n.Dropped++
+				return
+			}
+		}
+	}
+	corrupt := pkt.Corrupt
+	if n.corrupt > 0 && !corrupt && n.e.Rand().Float64() < n.corrupt {
+		corrupt = true
+		n.Corrupted++
+	}
+	for _, L := range links[:half] {
+		L.delivered++
+	}
+	tx := sim.Duration(float64(pkt.Size) * n.nsPerByte)
+	hop := n.cfg.SwitchLatency
+	// Full-path cut-through reservation on this replica: authoritative for
+	// the source half, an estimate for the destination half that serializes
+	// this shard's own stream toward the receiver.
+	t0 := n.e.Now()
+	for {
+		shifted := false
+		for i, L := range links {
+			arr := t0.Add(sim.Duration(i) * hop)
+			if L.freeAt > arr {
+				t0 = t0.Add(L.freeAt.Sub(arr))
+				shifted = true
+				break
+			}
+		}
+		if !shifted {
+			break
+		}
+	}
+	for i, L := range links {
+		start := t0.Add(sim.Duration(i) * hop)
+		if i < half {
+			L.busy += tx
+		}
+		L.freeAt = start.Add(tx)
+	}
+	done := t0.Add(sim.Duration(len(links))*hop + tx)
+	x := xfer{
+		src: pkt.Src, dst: pkt.Dst, size: pkt.Size, payload: pkt.Payload,
+		control: pkt.Control, corrupt: corrupt, route: route,
+		headAt: t0.Add(sim.Duration(half) * hop),
+	}
+	peer := n.fab.nets[dstShard]
+	n.e.PostRemote(dstShard, done, func() { peer.applyCross(x) })
+}
+
+// applyCross lands an exchanged packet on the destination shard: allocate
+// from this shard's arena, run the receiver's admission gate, and finish
+// the path through injectTail.
+func (n *Network) applyCross(x xfer) {
+	pkt := n.AllocPacket() // the transit reference, released at handoff/loss
+	pkt.Src, pkt.Dst, pkt.Size, pkt.Payload = x.src, x.dst, x.size, x.payload
+	pkt.Control, pkt.Corrupt = x.control, x.corrupt
+	if !pkt.Control {
+		if adm := n.admission[pkt.Dst]; adm != nil {
+			if len(n.waitq[pkt.Dst]) > 0 || !adm() {
+				pkt.Parked = true
+				n.waitq[pkt.Dst] = append(n.waitq[pkt.Dst],
+					waiting{pkt: pkt, route: x.route, remote: true, headAt: x.headAt})
+				return
+			}
+		}
+	}
+	n.injectTail(pkt, x.route, x.headAt)
+}
+
+// injectTail charges the destination half of a cross-shard path against
+// this shard's authoritative replica — down links, burst loss, last-hop
+// contention — and schedules delivery. headAt is when the packet's head
+// reached the first destination-half link under the source's estimate;
+// contention here only ever pushes delivery later.
+func (n *Network) injectTail(pkt *Packet, route int, headAt sim.Time) {
+	links := n.path(pkt.Src, pkt.Dst, route)
+	tail := links[len(links)/2:]
+	for _, L := range tail {
+		L.sent++
+		if L.down {
+			L.dropped++
+			n.Dropped++
+			pkt.Release()
+			return
+		}
+		if g := L.ge; g != nil {
+			pl := g.lossGood
+			if g.bad {
+				pl = g.lossBad
+			}
+			if pl > 0 && n.e.Rand().Float64() < pl {
+				L.dropped++
+				n.Dropped++
+				pkt.Release()
+				return
+			}
+		}
+	}
+	for _, L := range tail {
+		L.delivered++
+	}
+	tx := sim.Duration(float64(pkt.Size) * n.nsPerByte)
+	hop := n.cfg.SwitchLatency
+	s := headAt
+	for {
+		shifted := false
+		for i, L := range tail {
+			arr := s.Add(sim.Duration(i) * hop)
+			if L.freeAt > arr {
+				s = s.Add(L.freeAt.Sub(arr))
+				shifted = true
+				break
+			}
+		}
+		if !shifted {
+			break
+		}
+	}
+	for i, L := range tail {
+		start := s.Add(sim.Duration(i) * hop)
+		L.busy += tx
+		L.freeAt = start.Add(tx)
+	}
+	done := s.Add(sim.Duration(len(tail))*hop + tx)
+	if done < n.e.Now() {
+		// Re-admitted long after its computed schedule (parked behind the
+		// receiver's gate): deliver as soon as the clock allows.
+		done = n.e.Now()
+	}
+	n.newTransit(pkt).timer.ResetAt(done)
+}
+
+// VerifyPoolLocality walks this replica's packet free list and checks that
+// every pooled packet is owned by this Network — i.e. no pooled object was
+// handed across a shard boundary. Returns nil when the arena is clean.
+func (n *Network) VerifyPoolLocality() error {
+	for p := n.freePkt; p != nil; p = p.fnext {
+		if p.owner != n {
+			return fmt.Errorf("netsim: foreign packet in shard %d arena", n.shard)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"virtnet/internal/sim"
+)
+
+// fabricLog drives a fixed, spaced (uncontended) send schedule through a
+// sharded fabric and returns every host's delivery log, sorted by host:
+// "host<-src seq@time". With no link contention and no loss/corruption RNG
+// in play, the cut-through model delivers a cross-shard packet at exactly
+// the time the classic single-engine path would, so the logs must be
+// identical at every shard count.
+func fabricLog(t testing.TB, seed int64, shards, hosts, sends int) []string {
+	cfg := DefaultConfig()
+	coord := sim.NewCoordinator(seed, shards, Lookahead(cfg))
+	defer coord.Shutdown()
+	fab := NewFabric(coord, cfg, hosts)
+	var mu sync.Mutex
+	logs := make([][]string, hosts)
+	for h := 0; h < hosts; h++ {
+		h := h
+		fab.Shard(fab.ShardOf(NodeID(h))).Attach(NodeID(h), func(p *Packet) {
+			e := coord.Engine(fab.ShardOf(NodeID(h)))
+			mu.Lock()
+			logs[h] = append(logs[h], fmt.Sprintf("%d<-%d %v@%d", h, p.Src, p.Payload, e.Now()))
+			mu.Unlock()
+		})
+	}
+	// Spaced far enough apart that no two packets share a link: delivery
+	// times are purely topological.
+	for k := 0; k < sends; k++ {
+		k := k
+		src := NodeID((k * 7) % hosts)
+		dst := NodeID((k*13 + hosts/2) % hosts)
+		if src == dst {
+			dst = NodeID((int(dst) + 1) % hosts)
+		}
+		s := fab.ShardOf(src)
+		net := fab.Shard(s)
+		route := k % net.Routes(src, dst)
+		at := sim.Time(0).Add(sim.Duration(k) * 50 * sim.Microsecond)
+		coord.Engine(s).AfterFuncAt(at, func() {
+			net.Send(&Packet{Src: src, Dst: dst, Size: 150, Payload: k}, route)
+		})
+	}
+	coord.Run()
+	var out []string
+	for h := 0; h < hosts; h++ {
+		out = append(out, logs[h]...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestShardCountInvariance is the shard-determinism property: the same
+// seed and send schedule produce byte-identical per-host delivery logs at
+// 1, 2, 4, and 8 shards.
+func TestShardCountInvariance(t *testing.T) {
+	const hosts, sends = 60, 120
+	base := fabricLog(t, 3, 1, hosts, sends)
+	if len(base) != sends {
+		t.Fatalf("baseline delivered %d of %d", len(base), sends)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		got := fabricLog(t, 3, shards, hosts, sends)
+		if fmt.Sprint(got) != fmt.Sprint(base) {
+			for i := range base {
+				if i >= len(got) || got[i] != base[i] {
+					t.Fatalf("shards=%d diverges at entry %d:\n  1 shard: %s\n  %d shards: %s",
+						shards, i, base[i], shards, at(got, i))
+				}
+			}
+			t.Fatalf("shards=%d: length %d vs %d", shards, len(got), len(base))
+		}
+	}
+}
+
+func at(s []string, i int) string {
+	if i < len(s) {
+		return s[i]
+	}
+	return "<missing>"
+}
+
+// TestShardRunByteIdentity double-runs a fixed shard count and requires
+// identical logs — the repeatability half of determinism (worker goroutine
+// scheduling must never leak into the virtual timeline).
+func TestShardRunByteIdentity(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		a := fabricLog(t, 9, shards, 40, 80)
+		b := fabricLog(t, 9, shards, 40, 80)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("shards=%d double run diverged", shards)
+		}
+	}
+}
+
+// TestCrossShardCountersConserve checks fabric-wide totals: every send is
+// delivered exactly once (lossless config), with Sent charged at the
+// source replica and Delivered at the destination replica.
+func TestCrossShardCountersConserve(t *testing.T) {
+	cfg := DefaultConfig()
+	coord := sim.NewCoordinator(1, 4, Lookahead(cfg))
+	defer coord.Shutdown()
+	fab := NewFabric(coord, cfg, 40)
+	var mu sync.Mutex
+	delivered := 0
+	for h := 0; h < 40; h++ {
+		fab.Shard(fab.ShardOf(NodeID(h))).Attach(NodeID(h), func(p *Packet) {
+			mu.Lock()
+			delivered++
+			mu.Unlock()
+		})
+	}
+	const sends = 200
+	for k := 0; k < sends; k++ {
+		k := k
+		src := NodeID(k % 40)
+		dst := NodeID((k + 20) % 40)
+		s := fab.ShardOf(src)
+		net := fab.Shard(s)
+		coord.Engine(s).AfterFuncAt(sim.Time(0).Add(sim.Duration(k)*sim.Microsecond), func() {
+			net.Send(&Packet{Src: src, Dst: dst, Size: 64}, k%net.Routes(src, dst))
+		})
+	}
+	coord.Run()
+	sent, del, drop, corr := fab.Totals()
+	if sent != sends || del != sends || drop != 0 || corr != 0 || delivered != sends {
+		t.Fatalf("totals: sent=%d delivered=%d dropped=%d corrupted=%d callbacks=%d",
+			sent, del, drop, corr, delivered)
+	}
+	for s := 0; s < fab.Shards(); s++ {
+		if err := fab.Shard(s).VerifyPoolLocality(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzShardDeterminism fuzzes (seed, shard count, send count): each input
+// must be repeatable at its shard count and agree with the single-shard
+// baseline.
+func FuzzShardDeterminism(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(40))
+	f.Add(int64(7), uint8(5), uint8(90))
+	f.Add(int64(42), uint8(8), uint8(10))
+	f.Fuzz(func(t *testing.T, seed int64, shardsRaw, sendsRaw uint8) {
+		shards := int(shardsRaw)%8 + 1
+		sends := int(sendsRaw)%60 + 1
+		const hosts = 30
+		base := fabricLog(t, seed, 1, hosts, sends)
+		got := fabricLog(t, seed, shards, hosts, sends)
+		if fmt.Sprint(got) != fmt.Sprint(base) {
+			t.Fatalf("seed=%d shards=%d sends=%d diverged from single-shard baseline", seed, shards, sends)
+		}
+		again := fabricLog(t, seed, shards, hosts, sends)
+		if fmt.Sprint(got) != fmt.Sprint(again) {
+			t.Fatalf("seed=%d shards=%d sends=%d not repeatable", seed, shards, sends)
+		}
+	})
+}

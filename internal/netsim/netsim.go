@@ -98,6 +98,15 @@ type Config struct {
 	// network: 20 leaves + 5 spines, 100 host links + 100 uplinks.
 	HostsPerLeaf int
 	Spines       int
+	// LeavesPerPod, when > 0 and smaller than the leaf count, groups the
+	// leaves into pods of that many leaves. Each pod has its own Spines
+	// spine switches, and Cores core switches join the pods — a three-level
+	// fat tree for clusters too large for one spine stage. 0 keeps the
+	// classic single-pod two-level tree.
+	LeavesPerPod int
+	// Cores is the number of core switches of a multi-pod tree (defaults
+	// to Spines). Ignored for single-pod topologies.
+	Cores int
 	// DropProb is the probability that a packet is silently lost in the
 	// fabric. The paper's network has rare transmission errors; the NI
 	// transport protocol must mask them. Tests raise this to verify
@@ -175,11 +184,25 @@ type Network struct {
 	cfg     Config
 	nhosts  int
 	nleaves int
+	npods   int
+	ncores  int
 	// hostUp[h]: host->leaf; hostDown[h]: leaf->host.
-	// up[l][s]: leaf l -> spine s; down[s][l]: spine s -> leaf l.
+	// up[l][s]: leaf l -> spine s (s is pod-local);
+	// down[p*Spines+s][l]: spine s of pod p -> leaf l.
 	hostUp, hostDown []*link
 	up, down         [][]*link
-	deliver          []func(*Packet)
+	// Core stage of a multi-pod tree (nil for single-pod):
+	// coreUp[p][s][c]: pod p's spine s -> core c;
+	// coreDown[c][p][s]: core c -> pod p's spine s.
+	coreUp   [][][]*link
+	coreDown [][][]*link
+	deliver  []func(*Packet)
+	// Shard identity when this Network is one replica of a sharded Fabric
+	// (fab nil for a classic standalone network). Each shard owns the hosts
+	// of a contiguous block of leaves; packets for hosts on other shards
+	// leave through the coordinator's exchange in sendCross.
+	fab   *Fabric
+	shard int
 	// admission gates model hop-by-hop back pressure: when a receiver's
 	// staging buffers are full, data packets wait in the fabric (per-
 	// destination FIFO) instead of traversing the final link, exactly the
@@ -196,7 +219,7 @@ type Network struct {
 	freeTr  *transit
 	// pathBuf is the scratch buffer path() fills in lieu of allocating a
 	// fresh link slice per injected packet.
-	pathBuf [4]*link
+	pathBuf [6]*link
 	// Stats
 	Sent, Delivered, Dropped int64
 	// Corrupted counts packets delivered with flipped bits.
@@ -218,11 +241,24 @@ func New(e *sim.Engine, cfg Config, nhosts int) *Network {
 	if nleaves == 0 {
 		nleaves = 1
 	}
+	npods := 1
+	if cfg.LeavesPerPod > 0 && cfg.LeavesPerPod < nleaves {
+		npods = (nleaves + cfg.LeavesPerPod - 1) / cfg.LeavesPerPod
+	}
+	ncores := 0
+	if npods > 1 {
+		ncores = cfg.Cores
+		if ncores <= 0 {
+			ncores = cfg.Spines
+		}
+	}
 	n := &Network{
 		e:         e,
 		cfg:       cfg,
 		nhosts:    nhosts,
 		nleaves:   nleaves,
+		npods:     npods,
+		ncores:    ncores,
 		deliver:   make([]func(*Packet), nhosts),
 		admission: make([]func() bool, nhosts),
 		waitq:     make([][]waiting, nhosts),
@@ -235,18 +271,47 @@ func New(e *sim.Engine, cfg Config, nhosts int) *Network {
 		n.hostDown[h] = &link{name: fmt.Sprintf("leaf->h%d", h)}
 	}
 	n.up = make([][]*link, nleaves)
-	n.down = make([][]*link, cfg.Spines)
-	for s := 0; s < cfg.Spines; s++ {
+	n.down = make([][]*link, npods*cfg.Spines)
+	for s := range n.down {
 		n.down[s] = make([]*link, nleaves)
 	}
 	for l := 0; l < nleaves; l++ {
+		p := n.podOf(l)
 		n.up[l] = make([]*link, cfg.Spines)
 		for s := 0; s < cfg.Spines; s++ {
-			n.up[l][s] = &link{name: fmt.Sprintf("leaf%d->spine%d", l, s)}
-			n.down[s][l] = &link{name: fmt.Sprintf("spine%d->leaf%d", s, l)}
+			n.up[l][s] = &link{name: fmt.Sprintf("leaf%d->spine%d", l, p*cfg.Spines+s)}
+			n.down[p*cfg.Spines+s][l] = &link{name: fmt.Sprintf("spine%d->leaf%d", p*cfg.Spines+s, l)}
+		}
+	}
+	if npods > 1 {
+		n.coreUp = make([][][]*link, npods)
+		n.coreDown = make([][][]*link, ncores)
+		for c := 0; c < ncores; c++ {
+			n.coreDown[c] = make([][]*link, npods)
+			for p := 0; p < npods; p++ {
+				n.coreDown[c][p] = make([]*link, cfg.Spines)
+			}
+		}
+		for p := 0; p < npods; p++ {
+			n.coreUp[p] = make([][]*link, cfg.Spines)
+			for s := 0; s < cfg.Spines; s++ {
+				n.coreUp[p][s] = make([]*link, ncores)
+				for c := 0; c < ncores; c++ {
+					n.coreUp[p][s][c] = &link{name: fmt.Sprintf("spine%d->core%d", p*cfg.Spines+s, c)}
+					n.coreDown[c][p][s] = &link{name: fmt.Sprintf("core%d->spine%d", c, p*cfg.Spines+s)}
+				}
+			}
 		}
 	}
 	return n
+}
+
+// podOf returns the pod index of leaf l (always 0 in a single-pod tree).
+func (n *Network) podOf(l int) int {
+	if n.npods <= 1 {
+		return 0
+	}
+	return l / n.cfg.LeavesPerPod
 }
 
 // AllocPacket returns a zeroed packet from the network's pool with one
@@ -306,13 +371,18 @@ func (n *Network) Attach(id NodeID, fn func(*Packet)) {
 
 func (n *Network) leafOf(h NodeID) int { return int(h) / n.cfg.HostsPerLeaf }
 
-// Routes returns the number of distinct paths between distinct hosts on
-// different leaves (one per spine). Same-leaf pairs have a single path.
+// Routes returns the number of distinct paths between distinct hosts:
+// one for same-leaf pairs, one per spine for same-pod pairs, and one per
+// (spine, core) combination across pods.
 func (n *Network) Routes(src, dst NodeID) int {
-	if n.leafOf(src) == n.leafOf(dst) {
+	ls, ld := n.leafOf(src), n.leafOf(dst)
+	if ls == ld {
 		return 1
 	}
-	return n.cfg.Spines
+	if n.podOf(ls) == n.podOf(ld) {
+		return n.cfg.Spines
+	}
+	return n.cfg.Spines * n.ncores
 }
 
 // path returns the ordered directed links from src to dst using the given
@@ -333,9 +403,22 @@ func (n *Network) path(src, dst NodeID, route int) []*link {
 	if s < 0 {
 		s += n.cfg.Spines
 	}
-	n.pathBuf[0], n.pathBuf[1], n.pathBuf[2], n.pathBuf[3] =
-		n.hostUp[src], n.up[ls][s], n.down[s][ld], n.hostDown[dst]
-	return n.pathBuf[:4]
+	ps, pd := n.podOf(ls), n.podOf(ld)
+	if ps == pd {
+		n.pathBuf[0], n.pathBuf[1], n.pathBuf[2], n.pathBuf[3] =
+			n.hostUp[src], n.up[ls][s], n.down[ps*n.cfg.Spines+s][ld], n.hostDown[dst]
+		return n.pathBuf[:4]
+	}
+	// Cross-pod: climb to a core switch and descend through the same
+	// pod-local spine index on the far side, so one route value names the
+	// whole path deterministically.
+	c := (route / n.cfg.Spines) % n.ncores
+	if c < 0 {
+		c += n.ncores
+	}
+	n.pathBuf[0], n.pathBuf[1], n.pathBuf[2] = n.hostUp[src], n.up[ls][s], n.coreUp[ps][s][c]
+	n.pathBuf[3], n.pathBuf[4], n.pathBuf[5] = n.coreDown[c][pd][s], n.down[pd*n.cfg.Spines+s][ld], n.hostDown[dst]
+	return n.pathBuf[:6]
 }
 
 // PathHops returns the number of switch hops between two hosts.
@@ -343,16 +426,25 @@ func (n *Network) PathHops(src, dst NodeID) int {
 	if src == dst {
 		return 0
 	}
-	if n.leafOf(src) == n.leafOf(dst) {
+	ls, ld := n.leafOf(src), n.leafOf(dst)
+	if ls == ld {
 		return 1
 	}
-	return 3
+	if n.podOf(ls) == n.podOf(ld) {
+		return 3
+	}
+	return 5
 }
 
 // waiting is a packet held by back pressure short of its destination.
+// remote marks packets that arrived over a shard exchange: they re-enter
+// through injectTail (the destination half of the path) with headAt as the
+// time their head reached the shard boundary.
 type waiting struct {
-	pkt   *Packet
-	route int
+	pkt    *Packet
+	route  int
+	remote bool
+	headAt sim.Time
 }
 
 // SetAdmission installs the receiver-side gate for host id: while ok
@@ -368,7 +460,11 @@ func (n *Network) Admit(id NodeID) {
 		w := n.waitq[id][0]
 		n.waitq[id] = n.waitq[id][1:]
 		w.pkt.Parked = false
-		n.inject(w.pkt, w.route)
+		if w.remote {
+			n.injectTail(w.pkt, w.route, w.headAt)
+		} else {
+			n.inject(w.pkt, w.route)
+		}
 	}
 }
 
@@ -383,6 +479,12 @@ func (n *Network) Blocked(id NodeID) int { return len(n.waitq[id]) }
 // Data packets for a receiver whose admission gate is closed wait in the
 // fabric and are released by Admit.
 func (n *Network) Send(pkt *Packet, route int) {
+	if n.fab != nil {
+		if d := int(n.fab.shardOfHost[pkt.Dst]); d != n.shard {
+			n.sendCross(pkt, route, d)
+			return
+		}
+	}
 	// The network's transit reference: held while the packet is parked or in
 	// flight, dropped after delivery or loss.
 	pkt.Retain()
@@ -390,7 +492,7 @@ func (n *Network) Send(pkt *Packet, route int) {
 		if adm := n.admission[pkt.Dst]; adm != nil {
 			if len(n.waitq[pkt.Dst]) > 0 || !adm() {
 				pkt.Parked = true
-				n.waitq[pkt.Dst] = append(n.waitq[pkt.Dst], waiting{pkt, route})
+				n.waitq[pkt.Dst] = append(n.waitq[pkt.Dst], waiting{pkt: pkt, route: route})
 				return
 			}
 		}
@@ -512,15 +614,21 @@ func (n *Network) Utilization() float64 {
 	}
 	var max sim.Duration
 	for l := 0; l < n.nleaves; l++ {
+		p := n.podOf(l)
 		for s := 0; s < n.cfg.Spines; s++ {
 			if n.up[l][s].busy > max {
 				max = n.up[l][s].busy
 			}
-			if n.down[s][l].busy > max {
-				max = n.down[s][l].busy
+			if n.down[p*n.cfg.Spines+s][l].busy > max {
+				max = n.down[p*n.cfg.Spines+s][l].busy
 			}
 		}
 	}
+	n.eachCoreLink(func(L *link) {
+		if L.busy > max {
+			max = L.busy
+		}
+	})
 	return float64(max) / float64(now)
 }
 
@@ -529,14 +637,23 @@ func (n *Network) TxTime(size int) sim.Duration {
 	return sim.Duration(float64(size) * n.nsPerByte)
 }
 
-// SetSpineDown hot-swaps spine switch s out of (or back into) the fabric:
-// all its links drop traffic. Paths through other spines are unaffected, so
-// transports with multi-path channels keep communicating (§3.2's
-// incremental-scaling/hot-swap requirement).
+// SetSpineDown hot-swaps spine switch s (a global index across pods) out
+// of (or back into) the fabric: all its links drop traffic. Paths through
+// other spines are unaffected, so transports with multi-path channels keep
+// communicating (§3.2's incremental-scaling/hot-swap requirement).
 func (n *Network) SetSpineDown(s int, down bool) {
+	p, sl := s/n.cfg.Spines, s%n.cfg.Spines
 	for l := 0; l < n.nleaves; l++ {
-		n.up[l][s].down = down
+		if n.podOf(l) == p {
+			n.up[l][sl].down = down
+		}
 		n.down[s][l].down = down
+	}
+	if n.npods > 1 {
+		for c := 0; c < n.ncores; c++ {
+			n.coreUp[p][sl][c].down = down
+			n.coreDown[c][p][sl].down = down
+		}
 	}
 }
 
@@ -547,12 +664,12 @@ func (n *Network) SetHostLinkDown(h NodeID, down bool) {
 }
 
 // SetUplinkDown fails (or repairs) the single leaf<->spine uplink pair
-// between leaf l and spine s — an arbitrary inter-switch link failure, finer
-// grained than a whole-spine hot swap. Traffic through other spines is
-// unaffected.
+// between leaf l and its pod's spine s (pod-local index) — an arbitrary
+// inter-switch link failure, finer grained than a whole-spine hot swap.
+// Traffic through other spines is unaffected.
 func (n *Network) SetUplinkDown(l, s int, down bool) {
 	n.up[l][s].down = down
-	n.down[s][l].down = down
+	n.down[n.podOf(l)*n.cfg.Spines+s][l].down = down
 }
 
 // SetLeafDown fails (or repairs) leaf switch l entirely: every host access
@@ -563,9 +680,10 @@ func (n *Network) SetLeafDown(l int, down bool) {
 		n.hostUp[h].down = down
 		n.hostDown[h].down = down
 	}
+	p := n.podOf(l)
 	for s := 0; s < n.cfg.Spines; s++ {
 		n.up[l][s].down = down
-		n.down[s][l].down = down
+		n.down[p*n.cfg.Spines+s][l].down = down
 	}
 }
 
@@ -587,6 +705,22 @@ func (n *Network) SameLeaf(a, b NodeID) bool { return n.leafOf(a) == n.leafOf(b)
 
 // Leaves reports the number of leaf switches.
 func (n *Network) Leaves() int { return n.nleaves }
+
+// Pods reports the number of pods (1 for a two-level tree).
+func (n *Network) Pods() int { return n.npods }
+
+// Cores reports the number of core switches (0 for a two-level tree).
+func (n *Network) Cores() int { return n.ncores }
+
+// TotalSpines reports the number of spine switches across all pods.
+func (n *Network) TotalSpines() int { return n.npods * n.cfg.Spines }
+
+// PodOf returns the index of the pod host h's leaf belongs to.
+func (n *Network) PodOf(h NodeID) int { return n.podOf(n.leafOf(h)) }
+
+// SamePod reports whether hosts a and b are in the same pod (their
+// traffic never crosses a core switch).
+func (n *Network) SamePod(a, b NodeID) bool { return n.PodOf(a) == n.PodOf(b) }
 
 // startGE attaches a fresh Gilbert–Elliott process to L and schedules its
 // state transitions as engine events (exponentially distributed sojourns
@@ -668,9 +802,32 @@ func (n *Network) eachLink(fn func(*link)) {
 			fn(n.up[l][s])
 		}
 	}
-	for s := 0; s < n.cfg.Spines; s++ {
+	for s := range n.down {
 		for l := 0; l < n.nleaves; l++ {
 			fn(n.down[s][l])
+		}
+	}
+	n.eachCoreLink(fn)
+}
+
+// eachCoreLink visits the core-stage links of a multi-pod tree in a fixed
+// order (no-op for single-pod).
+func (n *Network) eachCoreLink(fn func(*link)) {
+	if n.npods <= 1 {
+		return
+	}
+	for p := 0; p < n.npods; p++ {
+		for s := 0; s < n.cfg.Spines; s++ {
+			for c := 0; c < n.ncores; c++ {
+				fn(n.coreUp[p][s][c])
+			}
+		}
+	}
+	for c := 0; c < n.ncores; c++ {
+		for p := 0; p < n.npods; p++ {
+			for s := 0; s < n.cfg.Spines; s++ {
+				fn(n.coreDown[c][p][s])
+			}
 		}
 	}
 }

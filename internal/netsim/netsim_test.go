@@ -14,17 +14,124 @@ func build(t *testing.T, nhosts int) (*sim.Engine, *Network) {
 	return e, n
 }
 
+// topoCases parameterize the generator tests over the three cluster scales
+// the suite exercises: the paper's 100-host NOW, a mid-size 320-host
+// five-pod tree, and the 1,024-host eight-pod tree the sharded engine
+// targets.
+var topoCases = []struct {
+	name         string
+	hosts        int
+	cfg          Config
+	leaves       int
+	pods         int
+	cores        int
+	switches     int // leaves + pod spines + cores
+	crossPodHops int // 0 when single-pod
+}{
+	{
+		// 20 leaves + 5 spines = the paper's 25 switches.
+		name: "100-host-now", hosts: 100, cfg: DefaultConfig(),
+		leaves: 20, pods: 1, cores: 0, switches: 25,
+	},
+	{
+		name: "320-host-5pod", hosts: 320,
+		cfg: func() Config {
+			c := DefaultConfig()
+			c.HostsPerLeaf, c.Spines, c.LeavesPerPod = 8, 4, 8
+			return c
+		}(),
+		leaves: 40, pods: 5, cores: 4, switches: 40 + 5*4 + 4, crossPodHops: 5,
+	},
+	{
+		name: "1024-host-8pod", hosts: 1024,
+		cfg: func() Config {
+			c := DefaultConfig()
+			c.HostsPerLeaf, c.Spines, c.LeavesPerPod, c.Cores = 8, 4, 16, 8
+			return c
+		}(),
+		leaves: 128, pods: 8, cores: 8, switches: 128 + 8*4 + 8, crossPodHops: 5,
+	},
+}
+
 func TestTopologyShape(t *testing.T) {
-	_, n := build(t, 100)
-	if n.NumHosts() != 100 {
-		t.Fatalf("NumHosts = %d", n.NumHosts())
+	for _, tc := range topoCases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := sim.NewEngine(1)
+			n := New(e, tc.cfg, tc.hosts)
+			if n.NumHosts() != tc.hosts {
+				t.Fatalf("NumHosts = %d", n.NumHosts())
+			}
+			if n.Leaves() != tc.leaves {
+				t.Fatalf("leaves = %d, want %d", n.Leaves(), tc.leaves)
+			}
+			if n.Pods() != tc.pods {
+				t.Fatalf("pods = %d, want %d", n.Pods(), tc.pods)
+			}
+			if n.Cores() != tc.cores {
+				t.Fatalf("cores = %d, want %d", n.Cores(), tc.cores)
+			}
+			spinesTotal := tc.pods * tc.cfg.Spines
+			if tc.pods == 1 {
+				spinesTotal = tc.cfg.Spines
+			}
+			if n.TotalSpines() != spinesTotal {
+				t.Fatalf("TotalSpines = %d, want %d", n.TotalSpines(), spinesTotal)
+			}
+			if got := n.Leaves() + spinesTotal + tc.cores; got != tc.switches {
+				t.Fatalf("switches = %d, want %d", got, tc.switches)
+			}
+		})
 	}
-	if n.nleaves != 20 {
-		t.Fatalf("leaves = %d, want 20 (100 hosts / 5 per leaf)", n.nleaves)
-	}
-	// 20 leaves + 5 spines = the paper's 25 switches.
-	if n.nleaves+n.cfg.Spines != 25 {
-		t.Fatalf("switches = %d, want 25", n.nleaves+n.cfg.Spines)
+}
+
+func TestMultiLevelPathHopsAndRoutes(t *testing.T) {
+	for _, tc := range topoCases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := sim.NewEngine(1)
+			n := New(e, tc.cfg, tc.hosts)
+			hpl := tc.cfg.HostsPerLeaf
+			sameLeaf := NodeID(1)        // host 0's leaf-mate
+			crossLeaf := NodeID(hpl)     // first host of leaf 1 (same pod)
+			last := NodeID(tc.hosts - 1) // last host (last pod when podded)
+			if got := n.PathHops(0, 0); got != 0 {
+				t.Fatalf("loopback hops = %d", got)
+			}
+			if got := n.PathHops(0, sameLeaf); got != 1 {
+				t.Fatalf("same-leaf hops = %d, want 1", got)
+			}
+			if got := n.PathHops(0, crossLeaf); got != 3 {
+				t.Fatalf("same-pod cross-leaf hops = %d, want 3", got)
+			}
+			if got := n.Routes(0, sameLeaf); got != 1 {
+				t.Fatalf("same-leaf routes = %d, want 1", got)
+			}
+			if got := n.Routes(0, crossLeaf); got != tc.cfg.Spines {
+				t.Fatalf("same-pod routes = %d, want %d", got, tc.cfg.Spines)
+			}
+			if tc.pods > 1 {
+				if n.SamePod(0, last) {
+					t.Fatalf("hosts 0 and %d should be in different pods", last)
+				}
+				if got := n.PathHops(0, last); got != tc.crossPodHops {
+					t.Fatalf("cross-pod hops = %d, want %d", got, tc.crossPodHops)
+				}
+				if got := n.Routes(0, last); got != tc.cfg.Spines*tc.cores {
+					t.Fatalf("cross-pod routes = %d, want %d", got, tc.cfg.Spines*tc.cores)
+				}
+				// Every cross-pod route must deliver (each route picks a
+				// distinct spine/core combination; all must be wired up).
+				delivered := 0
+				n.Attach(last, func(p *Packet) { delivered++ })
+				for r := 0; r < n.Routes(0, last); r++ {
+					n.Send(&Packet{Src: 0, Dst: last, Size: 64}, r)
+				}
+				e.Run()
+				if delivered != n.Routes(0, last) {
+					t.Fatalf("cross-pod delivery: %d of %d routes delivered",
+						delivered, n.Routes(0, last))
+				}
+			}
+		})
 	}
 }
 
@@ -323,31 +430,45 @@ func TestGatePreservesFIFO(t *testing.T) {
 }
 
 func TestLocalityAPI(t *testing.T) {
-	// Pin the default 100-host mapping: 20 leaves of 5 consecutive hosts.
-	_, n := build(t, 100)
-	if n.Leaves() != 20 {
-		t.Fatalf("Leaves() = %d, want 20", n.Leaves())
-	}
-	for h := 0; h < 100; h++ {
-		if got, want := n.LeafOf(NodeID(h)), h/5; got != want {
-			t.Fatalf("LeafOf(%d) = %d, want %d", h, got, want)
-		}
-	}
-	cases := []struct {
-		a, b NodeID
-		same bool
-	}{
-		{0, 4, true},   // both under leaf 0
-		{0, 5, false},  // leaf boundary
-		{4, 5, false},  // adjacent hosts, different leaves
-		{95, 99, true}, // last leaf
-		{7, 7, true},   // identity
-		{99, 0, false}, // extremes
-	}
-	for _, c := range cases {
-		if got := n.SameLeaf(c.a, c.b); got != c.same {
-			t.Fatalf("SameLeaf(%d, %d) = %v, want %v", c.a, c.b, got, c.same)
-		}
+	// Consecutive-host leaf (and pod) mapping at every scale the generator
+	// supports.
+	for _, tc := range topoCases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := sim.NewEngine(1)
+			n := New(e, tc.cfg, tc.hosts)
+			hpl := tc.cfg.HostsPerLeaf
+			lpp := tc.cfg.LeavesPerPod
+			for h := 0; h < tc.hosts; h++ {
+				if got, want := n.LeafOf(NodeID(h)), h/hpl; got != want {
+					t.Fatalf("LeafOf(%d) = %d, want %d", h, got, want)
+				}
+				wantPod := 0
+				if tc.pods > 1 {
+					wantPod = (h / hpl) / lpp
+				}
+				if got := n.PodOf(NodeID(h)); got != wantPod {
+					t.Fatalf("PodOf(%d) = %d, want %d", h, got, wantPod)
+				}
+			}
+			// Boundary pairs derived from the config, not hardcoded.
+			la, lb := NodeID(hpl-1), NodeID(hpl) // straddle the first leaf edge
+			if n.SameLeaf(0, la) != true || n.SameLeaf(la, lb) != false {
+				t.Fatalf("leaf boundary wrong at hosts %d|%d", la, lb)
+			}
+			lastLeafFirst := NodeID((tc.leaves - 1) * hpl)
+			if !n.SameLeaf(lastLeafFirst, NodeID(tc.hosts-1)) {
+				t.Fatalf("last leaf should span %d..%d", lastLeafFirst, tc.hosts-1)
+			}
+			if n.SameLeaf(NodeID(tc.hosts-1), 0) {
+				t.Fatalf("extremes should differ")
+			}
+			if tc.pods > 1 {
+				pa, pb := NodeID(hpl*lpp-1), NodeID(hpl*lpp) // first pod edge
+				if !n.SamePod(0, pa) || n.SamePod(pa, pb) {
+					t.Fatalf("pod boundary wrong at hosts %d|%d", pa, pb)
+				}
+			}
+		})
 	}
 	// A partial last leaf still maps every host to a valid leaf.
 	_, odd := build(t, 13)

@@ -358,7 +358,7 @@ func (n *NIC) fromNetwork(p *netsim.Packet) {
 			if w.Kind == pktData {
 				w.flight.Note("rx-dark-drop", n.e.Now())
 			} else {
-				w.release()
+				w.releaseTo(n)
 			}
 		}
 		return
@@ -370,7 +370,7 @@ func (n *NIC) fromNetwork(p *netsim.Packet) {
 		// the sender's retransmission recovers (§5.1).
 		n.C.Inc("rx.crc_drop")
 		if pkt.Kind != pktData {
-			pkt.release()
+			pkt.releaseTo(n)
 		} else {
 			pkt.flight.Note("rx-crc-drop", n.e.Now())
 		}
@@ -423,7 +423,7 @@ func (n *NIC) loop(p *sim.Proc) {
 		}
 		if pkt, ok := n.inboundCtl.Pop(); ok {
 			n.handlePkt(p, pkt)
-			pkt.release()
+			pkt.releaseTo(n)
 			continue
 		}
 		if pkt, ok := n.inbound.Pop(); ok {

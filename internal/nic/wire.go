@@ -1,6 +1,8 @@
 package nic
 
 import (
+	"fmt"
+
 	"virtnet/internal/netsim"
 	"virtnet/internal/obs"
 	"virtnet/internal/sim"
@@ -93,23 +95,27 @@ type wirePkt struct {
 	// behind back pressure.
 	netPkt *netsim.Packet
 
-	// pool points at the NI whose control-header free list owns this packet
-	// (nil for data headers and directly built test packets); pnext links the
-	// free list.
+	// pool marks a pooled control header and points at the NI whose free
+	// list currently holds it (nil for data headers and directly built test
+	// packets); pnext links the free list.
 	pool  *NIC
 	pnext *wirePkt
 }
 
-// release returns a pooled control header to its owning NI's free list,
-// zeroing every protocol field so the next use starts clean. A no-op on
+// releaseTo returns a pooled control header to NI n's free list — the NI
+// that finished processing it, not the NI that allocated it. Acks flow
+// back against data, so releasing into the allocator's list would push
+// onto a pool owned by another node — and, under a sharded engine, mutate
+// another shard's arena from this one (a data race). Releasing locally
+// keeps every free list touched only by its own node; headers migrate
+// between pools as control traffic flows, totals conserved. A no-op on
 // unpooled headers.
-func (w *wirePkt) release() {
-	o := w.pool
-	if o == nil {
+func (w *wirePkt) releaseTo(n *NIC) {
+	if w.pool == nil {
 		return
 	}
-	*w = wirePkt{pool: o, pnext: o.ctlFree}
-	o.ctlFree = w
+	*w = wirePkt{pool: n, pnext: n.ctlFree}
+	n.ctlFree = w
 }
 
 // allocCtl takes a control header from the NI's free list, or makes one.
@@ -117,7 +123,25 @@ func (n *NIC) allocCtl() *wirePkt {
 	if w := n.ctlFree; w != nil {
 		n.ctlFree = w.pnext
 		w.pnext = nil
+		w.pool = n
 		return w
 	}
 	return &wirePkt{pool: n}
+}
+
+// VerifyPoolLocality walks this NI's free lists and checks that every
+// pooled object records this NI as its holder — the invariant that keeps
+// arenas shard-local under a sharded engine. Returns nil when clean.
+func (n *NIC) VerifyPoolLocality() error {
+	for w := n.ctlFree; w != nil; w = w.pnext {
+		if w.pool != n {
+			return fmt.Errorf("nic %d: foreign control header in free list", int(n.id))
+		}
+	}
+	for m := n.msgFree; m != nil; m = m.fnext {
+		if m.owner != n {
+			return fmt.Errorf("nic %d: foreign receive descriptor in free list", int(n.id))
+		}
+	}
+	return nil
 }

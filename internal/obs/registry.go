@@ -22,6 +22,21 @@ type Snap struct {
 	Vals []KV
 }
 
+// MergeSnaps joins per-shard snapshots into one: values concatenate in
+// shard order (each registry's own order is already deterministic) and the
+// merged timestamp is the latest shard clock — at a barrier all shards
+// agree, between barriers the laggards just have not caught up yet.
+func MergeSnaps(snaps []Snap) Snap {
+	var out Snap
+	for _, s := range snaps {
+		if s.At > out.At {
+			out.At = s.At
+		}
+		out.Vals = append(out.Vals, s.Vals...)
+	}
+	return out
+}
+
 // maxSnaps bounds the periodic-snapshot timeline; sampling stops quietly
 // once full so long soaks cannot grow without bound.
 const maxSnaps = 4096

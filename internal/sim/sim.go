@@ -224,6 +224,12 @@ type Engine struct {
 	over      overHeap
 	free      *event // event pool
 	stats     Stats
+
+	// Shard identity when this engine is one of a Coordinator's shards
+	// (coord nil otherwise). PostRemote stages events through the
+	// coordinator's exchange.
+	coord *Coordinator
+	shard int
 }
 
 // NewEngine returns an engine with virtual time 0 and a PRNG seeded with seed.
@@ -412,6 +418,57 @@ func (e *Engine) AfterFuncAt(t Time, fn func()) {
 // Pending reports the number of live events queued. Cancelled timers are
 // unlinked at Stop time and never counted.
 func (e *Engine) Pending() int { return e.wheelLive + len(e.over) }
+
+// ShardIndex returns this engine's shard number under a Coordinator
+// (0 for a standalone engine).
+func (e *Engine) ShardIndex() int { return e.shard }
+
+// PostRemote schedules fn at absolute time at on shard dst's engine. On a
+// standalone engine (or when dst is this shard) it is AfterFuncAt; across
+// shards the event is staged in the coordinator's exchange and inserted at
+// the next barrier in deterministic (time, srcShard, seq) order. The
+// lookahead contract applies: at must be >= Now() + the coordinator's
+// window, or the barrier flush will panic.
+func (e *Engine) PostRemote(dst int, at Time, fn func()) {
+	if e.coord == nil || dst == e.shard {
+		e.AfterFuncAt(at, fn)
+		return
+	}
+	e.coord.post(e.shard, dst, at, fn)
+}
+
+// NextEventBound returns a conservative lower bound on the earliest
+// pending event's time — exact when the earliest event sits in wheel level
+// 0 or the overflow heap, the frame start of its slot otherwise. ok is
+// false when nothing is pending. Coordinators use it to stretch barrier
+// windows across idle gaps.
+func (e *Engine) NextEventBound() (Time, bool) {
+	if e.wheelLive == 0 && len(e.over) == 0 {
+		return 0, false
+	}
+	if e.wheelLive > 0 {
+		if s := e.lowestSlot(0); s >= 0 {
+			// Level-0 slot heads are the global minimum (see stepBounded).
+			return e.wheel[0][s].head.t, true
+		}
+		// The lowest occupied level holds the earliest events: level-k
+		// events share now's level-(k+1) frame, which everything at higher
+		// levels lies beyond. The slot's frame start bounds them from below.
+		for level := 1; level < wheelLevels; level++ {
+			s := e.lowestSlot(level)
+			if s < 0 {
+				continue
+			}
+			shift := uint(level) * wheelBits
+			fs := (e.now &^ (Time(1)<<(shift+wheelBits) - 1)) | Time(s)<<shift
+			if fs < e.now {
+				fs = e.now
+			}
+			return fs, true
+		}
+	}
+	return e.over[0].t, true
+}
 
 // stepBounded fires the single earliest event if its time is <= bound,
 // advancing the clock to it. It reports whether an event fired. Along the
