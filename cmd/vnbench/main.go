@@ -18,7 +18,12 @@
 //	vnbench breakdown         §4      per-stage latency decomposition via tracing
 //	vnbench tenants           ext.    multi-tenant metered WRR shares under overcommit
 //	vnbench degrade           ext.    graceful degradation: goodput vs offered load
+//	vnbench serve             ext.    serving-scale workloads: open-loop SLO curves
 //	vnbench all               everything above
+//
+// Flags may also follow the subcommand (`vnbench serve -scenario hotkey
+// -shards 4`); everything after the first positional argument is re-parsed
+// into the same flag set.
 //
 // Use -quick for smaller client sweeps and shorter windows. The golden
 // results_*.txt files capture stdout only; simperf's machine-dependent
@@ -57,13 +62,64 @@ var (
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceout   = flag.String("traceout", "", "write a Perfetto-compatible trace of the breakdown short-AM phase to this file")
 	metrics    = flag.Bool("metrics", false, "print metrics-registry dashboards after instrumented experiments")
-	shards     = flag.Int("shards", 1, "simperf: engine shards (1 = classic single engine)")
-	hosts      = flag.Int("hosts", 0, "simperf: cluster size override (0 = the golden sections)")
+	shards     = flag.Int("shards", 1, "simperf/serve: engine shards (1 = classic single engine; serve defaults to 4 when unset)")
+	hosts      = flag.Int("hosts", 0, "simperf/serve: cluster size override (0 = the golden sections)")
 	sweep      = flag.Bool("sweep", false, "simperf: shard-scaling sweep on the 1,024-host workload (stderr, machine-dependent)")
+	scenario   = flag.String("scenario", "golden", "serve: scenario to sweep ('golden' = the committed set, 'list' prints all)")
 )
+
+// experiments is the registration table: one row per subcommand, in
+// "vnbench all" execution order. A new experiment plugs in here and
+// inherits the shared flag/profiling plumbing — no per-command wiring.
+var experiments = []struct {
+	name string
+	doc  string
+	run  func()
+}{
+	{"logp", "Fig. 3  LogP parameters, AM vs GAM", runLogP},
+	{"bandwidth", "Fig. 4  transfer bandwidth vs message size", runBandwidth},
+	{"npb", "Fig. 5  NPB speedups on SP-2 / NOW / Origin 2000", runNPB},
+	{"contention-small", "Fig. 6  small-message throughput under contention", func() { runContention(0) }},
+	{"contention-bulk", "Fig. 7  8 KB bulk throughput under contention", func() { runContention(8192) }},
+	{"linpack", "§6.2    Linpack GFLOPS on 100 nodes", runLinpack},
+	{"timeshare", "§6.3    time-shared parallel applications", runTimeshare},
+	{"overcommit", "§6.4.1  8:1 overcommit: remap rate, bimodal RTTs", runOvercommit},
+	{"ablations", "§6.4.1  design-choice ablations", runAblations},
+	{"sensitivity", "§6.1    LogP sensitivity: overhead vs gap", runSensitivity},
+	{"migrate", "ext.    live endpoint migration: blackout, loss=0", runMigrate},
+	{"faults", "ext.    fault injection + automated recovery", runFaults},
+	{"simperf", "ext.    event-engine self-benchmark", runSimPerf},
+	{"allreduce", "ext.    collective algorithm sweep + SGD overlap", runAllreduce},
+	{"breakdown", "§4      per-stage latency decomposition via tracing", runBreakdown},
+	{"tenants", "ext.    multi-tenant metered WRR shares under overcommit", runTenants},
+	{"degrade", "ext.    graceful degradation: goodput vs offered load", runDegrade},
+	{"serve", "ext.    serving-scale workloads: open-loop SLO curves", runServe},
+}
+
+// flagSet reports whether the named flag was set explicitly (before or
+// after the subcommand).
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
 
 func main() {
 	flag.Parse()
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+		// The flag package stops at the first positional argument, so
+		// trailing flags (`vnbench serve -scenario hotkey`) need a second
+		// parse into the same flag set.
+		if flag.NArg() > 1 {
+			flag.CommandLine.Parse(flag.Args()[1:])
+		}
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -90,44 +146,23 @@ func main() {
 			}
 		}()
 	}
-	cmd := "all"
-	if flag.NArg() > 0 {
-		cmd = flag.Arg(0)
-	}
-	cmds := map[string]func(){
-		"logp":             runLogP,
-		"sensitivity":      runSensitivity,
-		"bandwidth":        runBandwidth,
-		"npb":              runNPB,
-		"contention-small": func() { runContention(0) },
-		"contention-bulk":  func() { runContention(8192) },
-		"linpack":          runLinpack,
-		"timeshare":        runTimeshare,
-		"overcommit":       runOvercommit,
-		"ablations":        runAblations,
-		"migrate":          runMigrate,
-		"faults":           runFaults,
-		"simperf":          runSimPerf,
-		"allreduce":        runAllreduce,
-		"breakdown":        runBreakdown,
-		"tenants":          runTenants,
-		"degrade":          runDegrade,
-	}
 	if cmd == "all" {
-		for _, name := range []string{"logp", "bandwidth", "npb", "contention-small",
-			"contention-bulk", "linpack", "timeshare", "overcommit", "ablations",
-			"sensitivity", "migrate", "faults", "simperf", "allreduce", "breakdown",
-			"tenants", "degrade"} {
-			cmds[name]()
+		for _, ex := range experiments {
+			ex.run()
 		}
 		return
 	}
-	fn, ok := cmds[cmd]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
-		os.Exit(2)
+	for _, ex := range experiments {
+		if ex.name == cmd {
+			ex.run()
+			return
+		}
 	}
-	fn()
+	fmt.Fprintf(os.Stderr, "unknown command %q; available:\n", cmd)
+	for _, ex := range experiments {
+		fmt.Fprintf(os.Stderr, "  %-17s %s\n", ex.name, ex.doc)
+	}
+	os.Exit(2)
 }
 
 func header(title string) {

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"virtnet/internal/bench"
+	"virtnet/internal/sim"
+)
+
+// runServe is the serving-scale workload experiment: open-loop clients
+// sweep offered load from well under to 3× the serving tier's capacity
+// across scenario axes (hot keys, incast fan-in, fault churn, tenant
+// interference, …), with a 20 ms end-to-end deadline on every request.
+// With the reliability layer on, goodput plateaus near capacity with
+// bounded p99 as offered load keeps climbing; the ablation (unbounded
+// FIFO, no shedding) collapses past saturation. The default "golden"
+// scenario set is captured in results_serve.txt; -scenario runs one axis,
+// -scenario list shows them all.
+func runServe() {
+	if *scenario == "list" {
+		for _, s := range bench.ServeScenarios() {
+			fmt.Printf("  %-13s %s\n", s.Name, s.Desc)
+		}
+		return
+	}
+	sh := *shards
+	if !flagSet("shards") {
+		sh = 4 // the golden curves run sharded by default
+	}
+	nHosts, nServers, nClients := 256, 32, 64
+	warm, win := 50*sim.Millisecond, 150*sim.Millisecond
+	factors := []float64{0.25, 0.5, 1.0, 1.5, 2.0, 3.0}
+	extraFactors := []float64{1.0, 2.0}
+	if *quick {
+		nHosts, nServers, nClients = 64, 8, 16
+		warm, win = 20*sim.Millisecond, 60*sim.Millisecond
+		factors = []float64{0.5, 1.0, 2.0}
+		extraFactors = []float64{1.0}
+	}
+	if *hosts != 0 {
+		nHosts = *hosts
+		nServers = nHosts / 8
+		nClients = nHosts / 4
+	}
+	header(fmt.Sprintf("serve — open-loop serving SLO curves (%d hosts, %d shards, %d servers, %d clients)",
+		nHosts, sh, nServers, nClients))
+	fmt.Printf("deadline 20ms end-to-end; %v measurement window after %v warmup; load in multiples of capacity\n",
+		win, warm)
+
+	type sweepStat struct {
+		peak, last float64 // best and highest-factor goodput (req/s)
+		lastP99    sim.Duration
+	}
+	runSweep := func(title, scn string, ablate bool, fs []float64) sweepStat {
+		fmt.Printf("\n-- %s --\n", title)
+		fmt.Printf("%-7s %10s %10s %7s %8s %8s %8s %7s %7s %7s %8s\n",
+			"load", "offered/s", "good/s", "good%", "p50_ms", "p99_ms", "p999_ms", "miss", "shed", "capped", "srvshed")
+		var st sweepStat
+		var capacity float64
+		var hedges, hedgeWins int64
+		for _, f := range fs {
+			res, err := bench.RunServePoint(bench.ServeConfig{
+				Scenario: scn, Factor: f,
+				Hosts: nHosts, Servers: nServers, Clients: nClients,
+				Shards: sh, Seed: *seed, Warmup: warm, Window: win, Ablate: ablate,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				os.Exit(2)
+			}
+			capacity = res.Capacity
+			hedges, hedgeWins = res.Hedges, res.HedgeWins
+			slo := res.SLO
+			secs := win.Seconds()
+			good := float64(slo.Good) / secs
+			ms := func(q float64) float64 {
+				return float64(slo.Lat.Quantile(q)) / float64(sim.Millisecond)
+			}
+			fmt.Printf("%-7s %10.0f %10.0f %6.1f%% %8.2f %8.2f %8.2f %7d %7d %7d %8d\n",
+				fmt.Sprintf("%.2fx", f), float64(slo.Offered)/secs, good,
+				100*slo.GoodputFrac(), ms(0.5), ms(0.99), ms(0.999),
+				slo.Missed+slo.Failed, slo.Shed, slo.Capped, res.SrvShed)
+			if good > st.peak {
+				st.peak = good
+			}
+			st.last, st.lastP99 = good, slo.Lat.Quantile(0.99)
+		}
+		fmt.Printf("capacity estimate: %.0f req/s\n", capacity)
+		if hedges > 0 {
+			fmt.Printf("hedged requests: %d issued, %d won\n", hedges, hedgeWins)
+		}
+		return st
+	}
+
+	if *scenario != "golden" {
+		runSweep(*scenario, *scenario, false, factors)
+		return
+	}
+
+	golden := []string{"baseline", "hotkey", "incast", "faultchurn"}
+	stats := map[string]sweepStat{}
+	for _, scn := range golden {
+		var desc string
+		for _, s := range bench.ServeScenarios() {
+			if s.Name == scn {
+				desc = s.Desc
+			}
+		}
+		stats[scn] = runSweep(fmt.Sprintf("%s: %s", scn, desc), scn, false, factors)
+	}
+	stats["ablate"] = runSweep("baseline, reliability layer OFF (ablation)", "baseline", true, factors)
+
+	for _, scn := range []string{"elephant", "straggler", "mmpp", "diurnal", "interference", "gateway", "ps"} {
+		var desc string
+		for _, s := range bench.ServeScenarios() {
+			if s.Name == scn {
+				desc = s.Desc
+			}
+		}
+		runSweep(fmt.Sprintf("%s: %s", scn, desc), scn, false, extraFactors)
+	}
+
+	lastF := factors[len(factors)-1]
+	fmt.Println()
+	for _, scn := range append(golden, "ablate") {
+		st := stats[scn]
+		pct := 0.0
+		if st.peak > 0 {
+			pct = 100 * st.last / st.peak
+		}
+		note := "plateau holds, p99 bounded"
+		if pct < 50 {
+			note = "collapse"
+		}
+		fmt.Printf("goodput at %.1fx offered: %3.0f%% of peak, p99 %6.2fms — %s (%s)\n",
+			lastF, pct, float64(st.lastP99)/float64(sim.Millisecond), scn, note)
+	}
+}

@@ -67,6 +67,7 @@ var (
 	faultplan  = flag.String("faultplan", "", "scripted fault schedule (internal/fault syntax), e.g. link:3-7@0.2s+0.5s,crash:node9@1s")
 	collOn     = flag.Bool("coll", false, "soak the collective engine with continuous allreduce rounds")
 	chaos      = flag.Bool("chaos", false, "run the chaos soak: random fault schedule + idempotent RPC population with exactly-once/leak/trace invariants")
+	serveSoak  = flag.Bool("serve", false, "run the serving soak: open-loop KV clients at 1.3x capacity + fault churn with exactly-once/no-hang/zero-leak invariants")
 	dash       = flag.Bool("dash", false, "print the unified metrics dashboard every 100 ms of simulated time")
 	shardsoak  = flag.Bool("shardsoak", false, "run the sharded-engine soak: mixed local/cross-shard traffic + node-scoped fault churn on a sharded cluster")
 	shards     = flag.Int("shards", 2, "engine shards for -shardsoak (1 = classic single engine)")
@@ -125,6 +126,10 @@ func main() {
 	}
 	if *chaos {
 		runChaos()
+		return
+	}
+	if *serveSoak {
+		runServeSoak()
 		return
 	}
 	cfg := hostos.DefaultClusterConfig()

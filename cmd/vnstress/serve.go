@@ -1,0 +1,231 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"virtnet/internal/core"
+	"virtnet/internal/fault"
+	"virtnet/internal/hostos"
+	"virtnet/internal/obs"
+	"virtnet/internal/reliab"
+	"virtnet/internal/rpc"
+	"virtnet/internal/serve"
+	"virtnet/internal/sim"
+)
+
+// runServeSoak is the serving soak (-serve): open-loop KV clients drive a
+// small protected serving tier at ~1.3× capacity through the reliability
+// layer while a seeded random fault plan churns links and crashes client
+// nodes. Puts carry idempotency keys and fan out to 2 replicas. At the end
+// it checks:
+//
+//   - no hang: every surviving client finishes its open-loop schedule and
+//     drain within a bounded settle window,
+//   - exactly-once effects: no idempotency key executed more than once on
+//     any replica server, across retries and duplicate deliveries,
+//   - zero leaks: every surviving client's pool and every server's
+//     reliability bookkeeping drains to zero,
+//   - SLO sanity: load was offered and goodput is nonzero despite the
+//     deliberate overload.
+//
+// With -dash the serve SLO panel (offered/good/shed plus live latency
+// quantiles) prints every 100 ms of simulated time.
+func runServeSoak() {
+	const (
+		nServers   = 4
+		deadline   = 20 * sim.Millisecond
+		service    = 200 * sim.Microsecond
+		putFrac    = 0.3
+		replicas   = 2
+		staleAfter = 500 * sim.Millisecond
+	)
+	if *nodes < nServers+2 {
+		fatal("serve soak needs at least %d nodes", nServers+2)
+	}
+	cfg := hostos.DefaultClusterConfig()
+	cfg.Net.DropProb = *drop
+	cl := hostos.NewCluster(*seed, *nodes, cfg)
+	defer cl.Shutdown()
+	o := cl.EnableObs(obs.Options{SampleEvery: 8, RingCap: 256})
+	m := reliab.NewMetrics()
+	m.Register(o.R)
+
+	dur := sim.Duration(*duration * float64(sim.Second))
+	leaves := (*nodes + cfg.Net.HostsPerLeaf - 1) / cfg.Net.HostsPerLeaf
+	plan := fault.RandomPlan(rand.New(rand.NewSource(*seed+0xF00)), fault.ChaosConfig{
+		Events:       16,
+		Horizon:      dur,
+		MaxOutage:    30 * sim.Millisecond,
+		Nodes:        *nodes,
+		Leaves:       leaves,
+		Spines:       cfg.Net.Spines,
+		Crash:        true,
+		NoCrashBelow: nServers, // the serving tier holds the invariant state
+	})
+	fmt.Printf("serve soak plan: %s\n", plan)
+	plan.Apply(cl)
+	everCrashed := make(map[int]bool)
+	for _, n := range plan.CrashTargets() {
+		everCrashed[n] = true
+	}
+
+	stop := false
+	ring := serve.NewRing(nServers, 32)
+	sopts := rpc.Options{Queue: 32, IdemCap: 1 << 16, Metrics: m, StaleAfter: staleAfter}
+	servers := make([]*serve.KVServer, nServers)
+	addrs := make([]serve.Addr, nServers)
+	for i := 0; i < nServers; i++ {
+		kv, err := serve.NewKVServer(cl.Nodes[i], core.Key(5000+i), serve.KVServerConfig{
+			Service: service, TrackEffects: true, Opts: sopts,
+		})
+		if err != nil {
+			fatal("kv server: %v", err)
+		}
+		servers[i] = kv
+		addrs[i] = kv.Addr()
+		cl.Nodes[i].Spawn(fmt.Sprintf("kv-serve%d", i), func(p *sim.Proc) {
+			kv.Serve(p, func() bool { return stop })
+		})
+	}
+
+	// All clients share one SLO: the classic cluster is a single engine, so
+	// procs never run concurrently and the shared accumulator is race-free.
+	// That is what makes the live -dash panel possible.
+	slo := serve.NewSLO()
+	slo.Register(o.R, "serve")
+
+	// Drive the tier past its knee: capacity = servers / (service × work
+	// per op), offered at 1.3× so admission control must shed.
+	workPerOp := (1 - putFrac) + putFrac*replicas
+	capacity := float64(nServers) * float64(sim.Second) / float64(service) / workPerOp
+	nClients := *nodes - nServers
+	perClient := 1.3 * capacity / float64(nClients)
+	clientDone := make([]bool, nClients)
+	pools := make([]*rpc.Pool, nClients)
+	for ci := 0; ci < nClients; ci++ {
+		ci := ci
+		node := cl.Nodes[nServers+ci]
+		node.Spawn(fmt.Sprintf("serve-client%d", ci), func(p *sim.Proc) {
+			w, err := serve.NewKVWorkload(node, addrs, serve.KVWorkloadConfig{
+				Ring:     ring,
+				Keys:     serve.NewHotKeys(10000, 4, 0.3, serve.DeriveRNG(*seed, uint64(0x20000+ci))),
+				PutFrac:  putFrac,
+				Replicas: replicas,
+				ValSize:  64,
+				IdemPuts: true,
+				ClientID: uint64(ci + 1),
+			}, rpc.Options{Metrics: m}, serve.DeriveRNG(*seed, uint64(0x30000+ci)))
+			if err != nil {
+				fatal("workload %d: %v", ci, err)
+			}
+			pools[ci] = w.Pool()
+			serve.RunClient(p, w, serve.ClientConfig{
+				Arr:       serve.NewPoisson(perClient, serve.DeriveRNG(*seed, uint64(0x10000+ci))),
+				Deadline:  deadline,
+				MaxOut:    64,
+				Stop:      sim.Time(dur),
+				MeasureTo: sim.Time(dur),
+			}, slo)
+			// Poll the pool until its re-issue bookkeeping drains (late
+			// returns from fault outages can still be in flight).
+			until := p.Now().Add(2 * staleAfter)
+			for p.Now() < until {
+				w.Poll(p)
+				if r, ri, d := w.Pool().Outstanding(); r+ri+d == 0 {
+					break
+				}
+				p.Sleep(100 * sim.Microsecond)
+			}
+			clientDone[ci] = true
+		})
+	}
+
+	// No-hang invariant: surviving clients settle within a bounded window.
+	stopAt := sim.Time(dur)
+	limit := stopAt.Add(10 * sim.Second)
+	lastDash := cl.E.Now()
+	for cl.E.Now() < limit {
+		cl.E.RunFor(10 * sim.Millisecond)
+		if *dash && cl.E.Now().Sub(lastDash) >= 100*sim.Millisecond {
+			fmt.Print(o.R.DashboardSection("serve"))
+			lastDash = cl.E.Now()
+		}
+		settled := cl.E.Now() >= stopAt.Add(2*deadline)
+		for ci := range clientDone {
+			if !clientDone[ci] && !everCrashed[nServers+ci] {
+				settled = false
+			}
+		}
+		if settled {
+			break
+		}
+	}
+	for ci := range clientDone {
+		if !clientDone[ci] && !everCrashed[nServers+ci] {
+			fatal("INVARIANT VIOLATION: serve client %d hung (no-hang)", ci)
+		}
+	}
+	// Run past the stale-sweep horizon so servers reclaim partial calls
+	// from crashed clients, then stop the serving loops.
+	cl.E.RunFor(2 * staleAfter)
+	stop = true
+	cl.E.RunFor(10 * sim.Millisecond)
+
+	crashed := 0
+	for ci := range clientDone {
+		if !clientDone[ci] {
+			crashed++
+		}
+	}
+	fmt.Printf("serve traffic: %s\n", slo.Line(dur))
+	fmt.Printf("clients: %d total, %d lost to crashes; capacity %.0f req/s offered at 1.3x\n",
+		nClients, crashed, capacity)
+
+	// SLO sanity: the open loop must have offered load, and the protected
+	// tier must have served a real fraction of it despite the overload.
+	if slo.Offered == 0 || slo.Good == 0 {
+		fatal("INVARIANT VIOLATION: no load served (offered=%d good=%d)", slo.Offered, slo.Good)
+	}
+
+	// Exactly-once effects: across retries, duplicate deliveries, and fault
+	// churn, no idempotency key may reach a put handler twice.
+	var applied, keys int64
+	dups := 0
+	for _, kv := range servers {
+		applied += kv.Applied
+		for k, n := range kv.Ledger {
+			keys++
+			if n > 1 {
+				dups++
+				fmt.Printf("  key %x executed %d times\n", k, n)
+			}
+		}
+	}
+	if dups > 0 {
+		fatal("INVARIANT VIOLATION: %d of %d idempotency keys executed more than once", dups, keys)
+	}
+	absorbed := m.Get("idem_hits") + m.Get("idem_dup")
+	fmt.Printf("exactly-once holds: %d puts applied across %d replicas, 0 duplicate executions (%d duplicates absorbed by the idem cache)\n",
+		applied, nServers, absorbed)
+
+	// Zero leaks: surviving clients' pools and every server drain to zero.
+	for ci, pl := range pools {
+		if pl == nil || !clientDone[ci] {
+			continue
+		}
+		if r, ri, d := pl.Outstanding(); r+ri+d != 0 {
+			fatal("INVARIANT VIOLATION: client %d leaked pool state: results=%d reissues=%d deferred=%d", ci, r, ri, d)
+		}
+	}
+	for si, kv := range servers {
+		if calls, reissues, queued, deferred := kv.S.Outstanding(); calls+reissues+queued+deferred != 0 {
+			fatal("INVARIANT VIOLATION: server %d leaked state: calls=%d reissues=%d queued=%d deferred=%d",
+				si, calls, reissues, queued, deferred)
+		}
+	}
+	fmt.Println("zero leaks: all pool slots, re-issue records, and admission queues drained")
+
+	fmt.Print(o.R.DashboardSection("serve"))
+	fmt.Printf("final sim time %v\n", sim.Duration(cl.E.Now()))
+}

@@ -1,0 +1,446 @@
+package bench
+
+import (
+	"fmt"
+
+	"virtnet/internal/core"
+	"virtnet/internal/fault"
+	"virtnet/internal/hostos"
+	"virtnet/internal/reliab"
+	"virtnet/internal/rpc"
+	"virtnet/internal/serve"
+	"virtnet/internal/sim"
+	"virtnet/internal/vnet"
+)
+
+// Serving-workload constants shared by every scenario. Service is sized in
+// milliseconds so a 32-server pool saturates in the tens of thousands of
+// requests per second — big enough for real tail statistics, small enough
+// that a full offered-load sweep stays CI-friendly.
+const (
+	serveService  = sim.Millisecond         // per-op server compute
+	serveDeadline = 20 * sim.Millisecond    // end-to-end SLO deadline
+	serveQueue    = 16                      // bounded admission: 16×1ms < deadline
+	serveMaxOut   = 48                      // per-client inflight cap
+	serveKeys     = 100_000                 // key space
+	serveIdemCap  = 1 << 14                 // server idempotency cache
+	serveDrain    = 2 * serveDeadline       // post-Stop harvest window
+)
+
+// ServeConfig parameterizes one point of the serving-workload experiment:
+// one scenario at one offered-load factor.
+type ServeConfig struct {
+	Scenario string  // see ServeScenarios
+	Factor   float64 // offered load as a multiple of estimated capacity
+	Hosts    int     // cluster size (default 256)
+	Servers  int     // serving nodes (default 32); gateway adds its tier on top
+	Clients  int     // open-loop client procs (default 64)
+	Shards   int     // engine shards (0/1 = classic single engine)
+	Seed     int64
+	Warmup   sim.Duration // steady-state ramp before measurement (default 50ms)
+	Window   sim.Duration // measurement window (default 150ms)
+	// Ablate turns the reliability layer off: unbounded FIFO admission, no
+	// shedding, no breakers. Past saturation the queues only grow and every
+	// reply is stale — the collapse the golden curves contrast against.
+	Ablate bool
+}
+
+// ServeResult is one row of the offered-load sweep: the merged SLO across
+// all clients plus the reliability-layer and app counters that explain it.
+type ServeResult struct {
+	Cfg      ServeConfig
+	Capacity float64 // estimated req/s at the configured service times
+	SLO      *serve.SLO
+
+	SrvShed   int64 // server-side admission rejections (summed, server order)
+	Retries   int64 // client-side budgeted retries (summed, client order)
+	ServerOps int64 // operations executed by the serving tier
+	Hedges    int64 // gateway scenario: hedges issued / won
+	HedgeWins int64
+}
+
+// ServeScenario names one scenario axis of the serving experiment.
+type ServeScenario struct {
+	Name string
+	Desc string
+}
+
+// ServeScenarios lists every scenario RunServePoint accepts, in display
+// order. The first four plus the ablation form the golden sweep.
+func ServeScenarios() []ServeScenario {
+	return []ServeScenario{
+		{"baseline", "sharded KV, uniform keys, 20% puts ×2 replicas, Poisson arrivals"},
+		{"hotkey", "baseline with 50% of ops on one hot key (one shard saturates first)"},
+		{"incast", "read-only 8-way scatter-gather gets with 4KiB padded responses"},
+		{"faultchurn", "baseline under a seeded random fault plan (links, bursts, crashes)"},
+		{"elephant", "baseline with a 64KiB elephant put every 50th op"},
+		{"straggler", "baseline with shard 0 running 8× slower"},
+		{"mmpp", "baseline driven by bursty MMPP arrivals (½× base, 3× burst)"},
+		{"diurnal", "baseline driven by a diurnal ramp (⅓×–5⁄3× triangle)"},
+		{"interference", "baseline with a noise tenant overcommitting server NI frames (vnet)"},
+		{"gateway", "inference gateways fanning to 4 backends with hedged requests"},
+		{"ps", "parameter server: windowed pulls, batched gradient pushes"},
+	}
+}
+
+func validServeScenario(name string) bool {
+	for _, s := range ServeScenarios() {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunServePoint runs one scenario at one offered-load factor and returns
+// the merged SLO. Everything is deterministic per (Seed, Shards): arrival
+// schedules and key picks come from derived PRNG streams, per-client SLOs
+// merge in client order, and per-server metrics sum in server order.
+func RunServePoint(cfg ServeConfig) (ServeResult, error) {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 256
+	}
+	if cfg.Servers <= 0 {
+		cfg.Servers = 32
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 64
+	}
+	if cfg.Factor <= 0 {
+		cfg.Factor = 1
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 50 * sim.Millisecond
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 150 * sim.Millisecond
+	}
+	if !validServeScenario(cfg.Scenario) {
+		return ServeResult{}, fmt.Errorf("serve: unknown scenario %q", cfg.Scenario)
+	}
+
+	ccfg := hostos.DefaultClusterConfig()
+	if cfg.Hosts >= 128 {
+		// Three-level fat tree, leaf-aligned with engine sharding.
+		ccfg.Net.HostsPerLeaf = 8
+		ccfg.Net.Spines = 4
+		ccfg.Net.LeavesPerPod = 16
+		ccfg.Net.Cores = 8
+	}
+	c := hostos.NewShardedCluster(cfg.Seed, cfg.Hosts, cfg.Shards, ccfg)
+	defer c.Shutdown()
+
+	res := ServeResult{Cfg: cfg}
+	stop := false
+	stopFn := func() bool { return stop }
+
+	srvOpts := rpc.Options{Queue: serveQueue, IdemCap: serveIdemCap}
+	if cfg.Ablate {
+		srvOpts = rpc.Options{Queue: 1 << 20, NoShed: true, NoBreaker: true, IdemCap: serveIdemCap}
+	}
+
+	// Per-server and per-client reliab metrics: procs on different shards
+	// run concurrently, so nothing is shared; sums happen after the run in
+	// a fixed order.
+	var srvMetrics []*reliab.Metrics
+	var cliMetrics []*reliab.Metrics
+	newSrvOpts := func() rpc.Options {
+		m := reliab.NewMetrics()
+		srvMetrics = append(srvMetrics, m)
+		o := srvOpts
+		o.Metrics = m
+		return o
+	}
+
+	// App wiring. Each branch fills capacity, the per-client workload
+	// factory, and the server-op harvest.
+	var makeWorkload func(ci int, node *hostos.Node, copts rpc.Options) (serve.Workload, error)
+	var harvestOps func()
+	clientBase := cfg.Servers // first client node index
+
+	switch cfg.Scenario {
+	case "gateway":
+		nBack := cfg.Servers
+		nGW := nBack / 4
+		if nGW < 2 {
+			nGW = 2
+		}
+		clientBase = nBack + nGW
+		const fanOut = 4
+		res.Capacity = float64(nBack) * (float64(sim.Second) / float64(serveService)) / fanOut
+		baddrs := make([]serve.Addr, nBack)
+		backs := make([]*serve.Backend, nBack)
+		for i := 0; i < nBack; i++ {
+			b, err := serve.NewBackend(c.Nodes[i], core.Key(5000+i),
+				serve.BackendConfig{Service: serveService, RespSize: 1024, Opts: newSrvOpts()})
+			if err != nil {
+				return res, err
+			}
+			backs[i] = b
+			baddrs[i] = b.Addr()
+			c.Nodes[i].Spawn("serve-backend", func(p *sim.Proc) { b.Serve(p, stopFn) })
+		}
+		gws := make([]*serve.Gateway, nGW)
+		gaddrs := make([]serve.Addr, nGW)
+		for g := 0; g < nGW; g++ {
+			node := c.Nodes[nBack+g]
+			gw, err := serve.NewGateway(node, core.Key(6000+g), baddrs, serve.GatewayConfig{
+				FanOut:      fanOut,
+				Workers:     8,
+				HedgeAfter:  4 * sim.Millisecond,
+				HedgeBudget: reliab.BudgetConfig{Capacity: 64, Refill: sim.Millisecond},
+				Service:     20 * sim.Microsecond,
+				Opts:        newSrvOpts(),
+			}, serve.DeriveRNG(cfg.Seed, 0x6000+uint64(g)))
+			if err != nil {
+				return res, err
+			}
+			gws[g] = gw
+			gaddrs[g] = gw.Addr()
+			gw.Start(stopFn)
+		}
+		makeWorkload = func(ci int, node *hostos.Node, copts rpc.Options) (serve.Workload, error) {
+			return serve.NewGatewayWorkload(node, gaddrs, 128, copts)
+		}
+		harvestOps = func() {
+			for _, b := range backs {
+				res.ServerOps += b.Evals
+			}
+			for _, gw := range gws {
+				res.Hedges += gw.Hedges
+				res.HedgeWins += gw.HedgeWins
+			}
+		}
+
+	case "ps":
+		const dim, pullWindow, pushEvery, batch = 4096, 32, 4, 8
+		// Pull and push cost the same by construction: Service + 32×PerValue.
+		opCost := 500*sim.Microsecond + pullWindow*10*sim.Microsecond
+		res.Capacity = float64(cfg.Servers) * float64(sim.Second) / float64(opCost)
+		addrs := make([]serve.Addr, cfg.Servers)
+		pss := make([]*serve.PSServer, cfg.Servers)
+		for i := 0; i < cfg.Servers; i++ {
+			ps, err := serve.NewPSServer(c.Nodes[i], core.Key(5000+i), serve.PSServerConfig{
+				Dim: dim, Service: 500 * sim.Microsecond, PerValue: 10 * sim.Microsecond,
+				Opts: newSrvOpts(),
+			})
+			if err != nil {
+				return res, err
+			}
+			pss[i] = ps
+			addrs[i] = ps.Addr()
+			c.Nodes[i].Spawn("serve-ps", func(p *sim.Proc) { ps.Serve(p, stopFn) })
+		}
+		makeWorkload = func(ci int, node *hostos.Node, copts rpc.Options) (serve.Workload, error) {
+			return serve.NewPSWorkload(node, addrs, serve.PSWorkloadConfig{
+				Dim: dim, PullWindow: pullWindow, PushEvery: pushEvery, BatchSize: batch,
+			}, copts, serve.DeriveRNG(cfg.Seed, 0x30000+uint64(ci)))
+		}
+		harvestOps = func() {
+			for _, ps := range pss {
+				res.ServerOps += ps.Pulls + ps.Pushes
+			}
+		}
+
+	default: // the KV family
+		wcfg := serve.KVWorkloadConfig{
+			PutFrac:  0.2,
+			Replicas: 2,
+			ValSize:  128,
+			IdemPuts: true,
+		}
+		kcfg := serve.KVServerConfig{Service: serveService}
+		switch cfg.Scenario {
+		case "hotkey":
+			// handled per client below (hot-key distribution)
+		case "incast":
+			wcfg.PutFrac = 0
+			wcfg.Replicas = 1
+			wcfg.FanReads = 8
+			kcfg.PadGets = 4096
+			kcfg.PerByte = 0 // compute flat; the fabric carries the fan-in
+		case "elephant":
+			wcfg.BigEvery = 50
+			wcfg.BigSize = 64 << 10
+			kcfg.PerByte = 20 * sim.Nanosecond
+		}
+		// Work per offered op, in units of one service time.
+		workPerOp := (1-wcfg.PutFrac) + wcfg.PutFrac*float64(wcfg.Replicas)
+		if wcfg.FanReads > 1 {
+			workPerOp = float64(wcfg.FanReads)
+		}
+		if wcfg.BigEvery > 0 {
+			bigCost := float64(serveService+sim.Duration(wcfg.BigSize)*kcfg.PerByte) / float64(serveService)
+			workPerOp += float64(wcfg.Replicas)*bigCost/float64(wcfg.BigEvery) - workPerOp/float64(wcfg.BigEvery)
+		}
+		res.Capacity = float64(cfg.Servers) * (float64(sim.Second) / float64(serveService)) / workPerOp
+
+		ring := serve.NewRing(cfg.Servers, 64)
+		wcfg.Ring = ring
+		addrs := make([]serve.Addr, cfg.Servers)
+		kvs := make([]*serve.KVServer, cfg.Servers)
+		for i := 0; i < cfg.Servers; i++ {
+			kc := kcfg
+			kc.Opts = newSrvOpts()
+			kv, err := serve.NewKVServer(c.Nodes[i], core.Key(5000+i), kc)
+			if err != nil {
+				return res, err
+			}
+			if cfg.Scenario == "straggler" && i == 0 {
+				kv.SetService(8 * serveService)
+			}
+			kvs[i] = kv
+			addrs[i] = kv.Addr()
+			c.Nodes[i].Spawn("serve-kv", func(p *sim.Proc) { kv.Serve(p, stopFn) })
+		}
+		makeWorkload = func(ci int, node *hostos.Node, copts rpc.Options) (serve.Workload, error) {
+			wc := wcfg
+			wc.ClientID = uint64(ci)
+			krng := serve.DeriveRNG(cfg.Seed, 0x20000+uint64(ci))
+			if cfg.Scenario == "hotkey" {
+				wc.Keys = serve.NewHotKeys(serveKeys, 1, 0.5, krng)
+			} else {
+				wc.Keys = serve.NewUniformKeys(serveKeys, krng)
+			}
+			return serve.NewKVWorkload(node, addrs, wc, copts,
+				serve.DeriveRNG(cfg.Seed, 0x30000+uint64(ci)))
+		}
+		harvestOps = func() {
+			for _, kv := range kvs {
+				res.ServerOps += kv.Gets + kv.Puts
+			}
+		}
+	}
+
+	// Scenario environment: fault churn and NI-frame interference ride on
+	// top of the baseline workload.
+	if cfg.Scenario == "faultchurn" {
+		pl := fault.RandomPlan(serve.DeriveRNG(cfg.Seed, 0xFA177), fault.ChaosConfig{
+			Events:       24,
+			Horizon:      cfg.Warmup + cfg.Window + serveDrain,
+			MaxOutage:    15 * sim.Millisecond,
+			Nodes:        cfg.Hosts,
+			Leaves:       c.Net.Leaves(),
+			Spines:       c.Net.TotalSpines(),
+			Crash:        true,
+			NoCrashBelow: clientBase, // the serving tier survives; clients churn
+		})
+		pl.Apply(c)
+	}
+	if cfg.Scenario == "interference" {
+		if err := serveNoiseTenant(c, cfg, stopFn); err != nil {
+			return res, err
+		}
+	}
+
+	// Open-loop clients, spread across the non-serving hosts (and shards).
+	perClient := res.Capacity * cfg.Factor / float64(cfg.Clients)
+	measureFrom := sim.Time(0).Add(cfg.Warmup)
+	measureTo := measureFrom.Add(cfg.Window)
+	slos := make([]*serve.SLO, cfg.Clients)
+	for ci := 0; ci < cfg.Clients; ci++ {
+		ci := ci
+		node := c.Nodes[clientBase+(ci*(cfg.Hosts-clientBase))/cfg.Clients]
+		slo := serve.NewSLO()
+		slos[ci] = slo
+		m := reliab.NewMetrics()
+		cliMetrics = append(cliMetrics, m)
+		var arr serve.Arrival
+		arng := serve.DeriveRNG(cfg.Seed, 0x10000+uint64(ci))
+		switch cfg.Scenario {
+		case "mmpp":
+			arr = serve.NewMMPP2(perClient/2, 3*perClient, 20*sim.Millisecond, 5*sim.Millisecond, arng)
+		case "diurnal":
+			arr = serve.NewDiurnal(perClient/3, 5*perClient/3, (cfg.Warmup+cfg.Window)/2, arng)
+		default:
+			arr = serve.NewPoisson(perClient, arng)
+		}
+		node.Spawn("serve-client", func(p *sim.Proc) {
+			copts := rpc.Options{Metrics: m}
+			if cfg.Ablate {
+				copts.NoBreaker = true
+			}
+			w, err := makeWorkload(ci, node, copts)
+			if err != nil {
+				return
+			}
+			serve.RunClient(p, w, serve.ClientConfig{
+				Arr:         arr,
+				Deadline:    serveDeadline,
+				MaxOut:      serveMaxOut,
+				Stop:        measureTo,
+				MeasureFrom: measureFrom,
+				MeasureTo:   measureTo,
+				Drain:       serveDrain,
+			}, slo)
+		})
+	}
+
+	c.RunFor(cfg.Warmup + cfg.Window + serveDrain + 10*sim.Millisecond)
+	stop = true
+	c.RunFor(20 * sim.Millisecond)
+
+	total := serve.NewSLO()
+	for _, s := range slos {
+		total.Merge(s)
+	}
+	res.SLO = total
+	for _, m := range srvMetrics {
+		// Admission rejections (queue-full NACKs) plus stale-deadline drops —
+		// everything a server refused rather than served.
+		res.SrvShed += m.Get("overload_nacks") + m.Get("shed")
+	}
+	for _, m := range cliMetrics {
+		res.Retries += m.Get("retries")
+	}
+	harvestOps()
+	return res, nil
+}
+
+// serveNoiseTenant is the interference scenario's background load: a vnet
+// tenant placing more endpoints on each serving node's NI than it has
+// frames, echoing in bursts so the segment driver keeps churning the
+// serving endpoint out of its frame — §5 overcommit turned into tail
+// latency on a co-resident tenant.
+func serveNoiseTenant(c *hostos.Cluster, cfg ServeConfig, stop func() bool) error {
+	const perNode = 6 // noise endpoints per serving node (8 frames/NI)
+	ncfg := vnet.DefaultConfig()
+	ncfg.Overcommit = 2
+	mgr := vnet.NewManager(c, ncfg)
+	tn, err := mgr.CreateTenant("noise", 2*perNode*cfg.Servers, 1)
+	if err != nil {
+		return err
+	}
+	nw, err := tn.CreateNetwork("bg")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		peer := cfg.Hosts - 1 - i
+		if err := tn.AddNIC(i); err != nil {
+			return err
+		}
+		if err := tn.AddNIC(peer); err != nil {
+			return err
+		}
+		for j := 0; j < perNode; j++ {
+			cep, err := nw.CreateEndpoint(fmt.Sprintf("c%d-%d", i, j), i)
+			if err != nil {
+				return err
+			}
+			sep, err := nw.CreateEndpoint(fmt.Sprintf("s%d-%d", i, j), peer)
+			if err != nil {
+				return err
+			}
+			c.Nodes[i].Spawn("serve-noise", func(p *sim.Proc) {
+				for !stop() {
+					if cep.Echo(p, sep, 4) != nil {
+						return
+					}
+					p.Sleep(2 * sim.Millisecond)
+				}
+			})
+		}
+	}
+	return nil
+}

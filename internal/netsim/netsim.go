@@ -644,9 +644,10 @@ func (n *Network) TxTime(size int) sim.Duration {
 func (n *Network) SetSpineDown(s int, down bool) {
 	p, sl := s/n.cfg.Spines, s%n.cfg.Spines
 	for l := 0; l < n.nleaves; l++ {
-		if n.podOf(l) == p {
-			n.up[l][sl].down = down
+		if n.podOf(l) != p {
+			continue // a spine only links to its own pod's leaves
 		}
+		n.up[l][sl].down = down
 		n.down[s][l].down = down
 	}
 	if n.npods > 1 {
@@ -762,7 +763,7 @@ func (n *Network) SetHostBurstLoss(h NodeID, bp BurstParams, on bool) {
 // SetUplinkBurstLoss enables (or disables) correlated burst loss on the
 // leaf l <-> spine s uplink pair.
 func (n *Network) SetUplinkBurstLoss(l, s int, bp BurstParams, on bool) {
-	for _, L := range [2]*link{n.up[l][s], n.down[s][l]} {
+	for _, L := range [2]*link{n.up[l][s], n.down[n.podOf(l)*n.cfg.Spines+s][l]} {
 		if on {
 			n.startGE(L, bp)
 		} else {
@@ -804,7 +805,9 @@ func (n *Network) eachLink(fn func(*link)) {
 	}
 	for s := range n.down {
 		for l := 0; l < n.nleaves; l++ {
-			fn(n.down[s][l])
+			if n.down[s][l] != nil { // cross-pod slots are unallocated
+				fn(n.down[s][l])
+			}
 		}
 	}
 	n.eachCoreLink(fn)

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"testing"
+	"testing/quick"
+
+	"virtnet/internal/sim"
+)
+
+// schedule materializes the first n arrival times of an arrival process.
+func schedule(a Arrival, n int) []sim.Time {
+	out := make([]sim.Time, n)
+	var t sim.Time
+	for i := 0; i < n; i++ {
+		t = t.Add(a.Gap(t))
+		out[i] = t
+	}
+	return out
+}
+
+// Property: Poisson and MMPP schedules are byte-identical per seed — the
+// whole determinism story of the serve experiments rests on this.
+func TestArrivalSchedulesDeterministicPerSeed(t *testing.T) {
+	f := func(seed int64, stream uint16) bool {
+		mk := func() []Arrival {
+			return []Arrival{
+				NewPoisson(1000, DeriveRNG(seed, uint64(stream))),
+				NewMMPP2(500, 5000, 50*sim.Millisecond, 5*sim.Millisecond,
+					DeriveRNG(seed, uint64(stream)+1)),
+				NewDiurnal(200, 2000, sim.Second, DeriveRNG(seed, uint64(stream)+2)),
+			}
+		}
+		a, b := mk(), mk()
+		for i := range a {
+			sa, sb := schedule(a[i], 500), schedule(b[i], 500)
+			for j := range sa {
+				if sa[j] != sb[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Different seeds must give different schedules (no stream collapse).
+func TestArrivalSchedulesDifferPerSeed(t *testing.T) {
+	a := schedule(NewPoisson(1000, DeriveRNG(1, 0)), 100)
+	b := schedule(NewPoisson(1000, DeriveRNG(2, 0)), 100)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("%d/100 arrival times collide across seeds", same)
+	}
+}
+
+// Empirical rate of a Poisson schedule must sit within tolerance of the
+// configured λ.
+func TestPoissonEmpiricalRate(t *testing.T) {
+	for _, lambda := range []float64{100, 1000, 50000} {
+		const n = 20000
+		s := schedule(NewPoisson(lambda, DeriveRNG(7, uint64(lambda))), n)
+		rate := float64(n) / s[n-1].Sub(0).Seconds()
+		if rate < 0.95*lambda || rate > 1.05*lambda {
+			t.Errorf("lambda=%v: empirical rate %.1f outside ±5%%", lambda, rate)
+		}
+	}
+}
+
+// MMPP2's long-run rate must match the dwell-weighted mixture of its two
+// state rates, and both states must actually occur.
+func TestMMPP2EmpiricalRate(t *testing.T) {
+	const (
+		l0, l1 = 500.0, 5000.0
+		d0, d1 = 40 * sim.Millisecond, 10 * sim.Millisecond
+	)
+	a := NewMMPP2(l0, l1, d0, d1, DeriveRNG(11, 3))
+	const n = 50000
+	s := schedule(a, n)
+	rate := float64(n) / s[n-1].Sub(0).Seconds()
+	// Time-weighted mixture: (l0·d0 + l1·d1) / (d0+d1).
+	want := (l0*d0.Seconds() + l1*d1.Seconds()) / (d0 + d1).Seconds()
+	if rate < 0.85*want || rate > 1.15*want {
+		t.Errorf("empirical rate %.1f, want ≈%.1f (±15%%)", rate, want)
+	}
+}
+
+// The diurnal ramp's rate estimate must actually ramp: arrivals around the
+// peak phase must be denser than around the trough.
+func TestDiurnalRamps(t *testing.T) {
+	period := 200 * sim.Millisecond
+	a := NewDiurnal(200, 4000, period, DeriveRNG(5, 9))
+	const n = 30000
+	s := schedule(a, n)
+	// Count arrivals falling in trough vs peak quarters of each period.
+	var trough, peak int
+	for _, at := range s {
+		phase := float64(at%sim.Time(period)) / float64(period)
+		switch {
+		case phase < 0.125 || phase >= 0.875:
+			trough++
+		case phase >= 0.375 && phase < 0.625:
+			peak++
+		}
+	}
+	if peak < 3*trough {
+		t.Fatalf("peak quarter %d arrivals vs trough %d — ramp not visible", peak, trough)
+	}
+	if got := a.RateAt(sim.Time(period / 2)); got != 4000 {
+		t.Fatalf("RateAt(half period) = %v, want peak 4000", got)
+	}
+	if got := a.RateAt(0); got != 200 {
+		t.Fatalf("RateAt(0) = %v, want base 200", got)
+	}
+}
+
+// Fuzz: the diurnal process must always produce strictly advancing time
+// for any configuration — a zero or negative gap would wedge the client
+// loop's schedule.
+func FuzzDiurnalMonotoneTime(f *testing.F) {
+	f.Add(int64(1), 100.0, 1000.0, int64(sim.Second))
+	f.Add(int64(2), 0.001, 0.002, int64(sim.Millisecond))
+	f.Add(int64(3), 1e9, 1e9, int64(3600*sim.Second))
+	f.Add(int64(4), 5000.0, 50.0, int64(777777))
+	f.Fuzz(func(t *testing.T, seed int64, base, peak float64, period int64) {
+		if base <= 0 || peak <= 0 || base > 1e12 || peak > 1e12 || period <= 0 {
+			t.Skip()
+		}
+		a := NewDiurnal(base, peak, sim.Duration(period), DeriveRNG(seed, 0))
+		var at sim.Time
+		for i := 0; i < 500; i++ {
+			g := a.Gap(at)
+			if g <= 0 {
+				t.Fatalf("gap %v at %v not positive", g, at)
+			}
+			next := at.Add(g)
+			if next <= at {
+				t.Fatalf("time did not advance: %v -> %v", at, next)
+			}
+			at = next
+		}
+	})
+}

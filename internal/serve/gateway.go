@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"virtnet/internal/core"
+	"virtnet/internal/hostos"
+	"virtnet/internal/reliab"
+	"virtnet/internal/rpc"
+	"virtnet/internal/sim"
+)
+
+// Gateway/backend procedure numbers.
+const (
+	ProcInfer   = 1 // gateway-facing: one inference request
+	ProcBackend = 1 // backend-facing: one model-shard evaluation
+)
+
+// BackendConfig shapes one inference backend.
+type BackendConfig struct {
+	// Service is the compute per evaluation. A straggler backend gets this
+	// inflated by the scenario.
+	Service sim.Duration
+	// RespSize is the result payload size.
+	RespSize int
+	Opts     rpc.Options
+}
+
+// Backend is one model shard: an rpc.Server evaluating requests with a
+// fixed compute cost.
+type Backend struct {
+	S     *rpc.Server
+	node  *hostos.Node
+	cfg   BackendConfig
+	Evals int64
+}
+
+// NewBackend builds one inference backend on node.
+func NewBackend(node *hostos.Node, key core.Key, cfg BackendConfig) (*Backend, error) {
+	s, err := rpc.NewServerOpts(node, key, cfg.Opts)
+	if err != nil {
+		return nil, err
+	}
+	b := &Backend{S: s, node: node, cfg: cfg}
+	s.Register(ProcBackend, b.eval)
+	return b, nil
+}
+
+// Addr returns the backend's pool address.
+func (b *Backend) Addr() Addr { return Addr{Name: b.S.Name(), Key: b.S.Key()} }
+
+// Serve runs the backend's poll/execute loop until stop returns true.
+func (b *Backend) Serve(p *sim.Proc, stop func() bool) { b.S.Serve(p, stop) }
+
+// SetService changes the backend's per-eval compute — the straggler and
+// fault scenarios use it to degrade one backend mid-run.
+func (b *Backend) SetService(d sim.Duration) { b.cfg.Service = d }
+
+func (b *Backend) eval(p *sim.Proc, args []byte) ([]byte, error) {
+	b.node.Compute(p, b.cfg.Service)
+	b.Evals++
+	out := make([]byte, b.cfg.RespSize)
+	for i := range out {
+		out[i] = byte(i * 17)
+	}
+	return out, nil
+}
+
+// GatewayConfig shapes the fan-out tier.
+type GatewayConfig struct {
+	// FanOut is how many backends each request needs (an ensemble of
+	// model shards; the response is complete when all have answered).
+	FanOut int
+	// Workers is the gateway's concurrency: procs draining the admission
+	// queue. Each worker handles one request's full fan-in at a time.
+	Workers int
+	// HedgeAfter launches a duplicate of a straggling branch after this
+	// long (0 disables hedging). Hedges spend the HedgeBudget — reliab's
+	// token bucket keeps the extra load bounded when everything is slow,
+	// exactly the retry-storm argument applied to tail-cutting.
+	HedgeAfter  sim.Duration
+	HedgeBudget reliab.BudgetConfig
+	// Service is gateway-side compute per request (merge/route cost).
+	Service sim.Duration
+	Opts    rpc.Options
+}
+
+// Gateway is the fan-out/fan-in tier: each inference request fans out to
+// FanOut backends (rotating round-robin over the pool), inherits the
+// caller's deadline on every branch, optionally hedges straggling
+// branches, and answers once every branch is in.
+type Gateway struct {
+	S    *rpc.Server
+	node *hostos.Node
+	cfg  GatewayConfig
+	pool *rpc.Pool
+	rr   int // round-robin fan-out start
+	hb   *reliab.Budget
+	rng  *rand.Rand
+
+	Requests, Hedges, HedgeWins int64
+}
+
+// NewGateway builds the gateway on node over the given backends. The
+// gateway's rpc.Server should be configured with an admission queue
+// (cfg.Opts.Queue) — Workers procs drain it.
+func NewGateway(node *hostos.Node, key core.Key, backends []Addr, cfg GatewayConfig, rng *rand.Rand) (*Gateway, error) {
+	s, err := rpc.NewServerOpts(node, key, cfg.Opts)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := rpc.NewPool(node, len(backends), cfg.Opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range backends {
+		if _, err := pl.Add(b.Name, b.Key); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.FanOut < 1 {
+		cfg.FanOut = 1
+	}
+	if cfg.FanOut > len(backends) {
+		cfg.FanOut = len(backends)
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	g := &Gateway{S: s, node: node, cfg: cfg, pool: pl, rng: rng,
+		hb: reliab.NewBudget(cfg.HedgeBudget)}
+	s.RegisterCtx(ProcInfer, g.infer)
+	return g, nil
+}
+
+// Addr returns the gateway's pool address.
+func (g *Gateway) Addr() Addr { return Addr{Name: g.S.Name(), Key: g.S.Key()} }
+
+// Start spawns the gateway's poll loop and worker procs on its node; they
+// run until stop returns true.
+func (g *Gateway) Start(stop func() bool) {
+	g.node.Spawn("gw-serve", func(p *sim.Proc) { g.S.Serve(p, stop) })
+	for w := 1; w < g.cfg.Workers; w++ {
+		g.node.Spawn("gw-worker", func(p *sim.Proc) {
+			for !stop() {
+				if !g.S.Step(p) {
+					p.Sleep(pollTick)
+				}
+			}
+		})
+	}
+}
+
+// branch tracks one fan-out leg and its optional hedge.
+type branch struct {
+	primary *rpc.PoolPending
+	hedge   *rpc.PoolPending
+	done    bool
+}
+
+// infer is the gateway handler: fan out, hedge stragglers, fan in. It runs
+// inside a worker proc (via Step), so blocking sleeps are legal; the
+// inherited ctx bounds every branch — when the caller's deadline passes,
+// branches shed server-side and the fan-in aborts.
+func (g *Gateway) infer(p *sim.Proc, ctx reliab.Ctx, args []byte) ([]byte, error) {
+	g.node.Compute(p, g.cfg.Service)
+	g.Requests++
+	n := g.cfg.FanOut
+	branches := make([]branch, n)
+	start := g.rr
+	g.rr = (g.rr + 1) % g.pool.Targets()
+	for i := 0; i < n; i++ {
+		pc, err := g.pool.GoCtx(p, (start+i)%g.pool.Targets(), ProcBackend, args, ctx)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				branches[j].primary.Abandon()
+			}
+			return nil, err
+		}
+		branches[i].primary = pc
+	}
+	issued := p.Now()
+	remaining := n
+	total := 0
+	for remaining > 0 {
+		now := p.Now()
+		if ctx.Deadline != 0 && now >= ctx.Deadline {
+			for i := range branches {
+				if !branches[i].done {
+					branches[i].primary.Abandon()
+					if branches[i].hedge != nil {
+						branches[i].hedge.Abandon()
+					}
+				}
+			}
+			return nil, rpc.ErrDeadlineExceeded
+		}
+		progress := false
+		for i := range branches {
+			b := &branches[i]
+			if b.done {
+				continue
+			}
+			if out, done, err := b.primary.TryWait(p); done {
+				if err == nil {
+					b.done = true
+					remaining--
+					total += len(out)
+					progress = true
+					if b.hedge != nil {
+						b.hedge.Abandon()
+						b.hedge = nil
+					}
+					continue
+				}
+				// Primary failed: the hedge (if any) is the only hope.
+				if b.hedge == nil {
+					for j := range branches {
+						if !branches[j].done && branches[j].hedge != nil {
+							branches[j].hedge.Abandon()
+						}
+					}
+					return nil, err
+				}
+				b.primary = b.hedge
+				b.hedge = nil
+				continue
+			}
+			if b.hedge != nil {
+				if out, done, err := b.hedge.TryWait(p); done {
+					if err == nil {
+						b.primary.Abandon()
+						b.done = true
+						remaining--
+						total += len(out)
+						progress = true
+						g.HedgeWins++
+						continue
+					}
+					b.hedge = nil
+				}
+			} else if g.cfg.HedgeAfter > 0 && now.Sub(issued) >= g.cfg.HedgeAfter && g.hb.Allow(now) {
+				// Straggling branch: duplicate it to the next backend over.
+				alt := (start + i + n) % g.pool.Targets()
+				if pc, err := g.pool.GoCtx(p, alt, ProcBackend, args, ctx); err == nil {
+					b.hedge = pc
+					g.Hedges++
+				}
+			}
+		}
+		if !progress {
+			if g.pool.Poll(p) == 0 {
+				p.Sleep(pollTick)
+			}
+		}
+	}
+	// The reply is a digest: total backend bytes, a stand-in for the
+	// merged ensemble output.
+	var out [8]byte
+	binary.LittleEndian.PutUint64(out[:], uint64(total))
+	return out[:], nil
+}
+
+// GatewayWorkload is the client side: one request per arrival to a
+// gateway chosen round-robin from the client's pool.
+type GatewayWorkload struct {
+	pool    *rpc.Pool
+	reqSize int
+	next    int
+}
+
+// NewGatewayWorkload builds a client over the given gateways.
+func NewGatewayWorkload(node *hostos.Node, gateways []Addr, reqSize int, opts rpc.Options) (*GatewayWorkload, error) {
+	pl, err := rpc.NewPool(node, len(gateways), opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, gw := range gateways {
+		if _, err := pl.Add(gw.Name, gw.Key); err != nil {
+			return nil, err
+		}
+	}
+	return &GatewayWorkload{pool: pl, reqSize: reqSize}, nil
+}
+
+// Poll services the workload's pool.
+func (w *GatewayWorkload) Poll(p *sim.Proc) { w.pool.Poll(p) }
+
+// Pool exposes the transport for invariant checks.
+func (w *GatewayWorkload) Pool() *rpc.Pool { return w.pool }
+
+// Issue sends one inference request to the next gateway.
+func (w *GatewayWorkload) Issue(p *sim.Proc, seq uint64, ctx reliab.Ctx) (Req, error) {
+	args := make([]byte, w.reqSize)
+	binary.LittleEndian.PutUint64(args, seq)
+	tgt := w.next
+	w.next = (w.next + 1) % w.pool.Targets()
+	pc, err := w.pool.GoCtx(p, tgt, ProcInfer, args, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return poolReq{pc}, nil
+}

@@ -1,0 +1,61 @@
+package serve
+
+import "math/rand"
+
+// KeyDist picks keys for KV traffic. Implementations draw from the
+// client's derived workload PRNG so the key sequence is seed-pure.
+type KeyDist interface {
+	Pick() uint64
+}
+
+// UniformKeys picks uniformly from [0, N).
+type UniformKeys struct {
+	n   uint64
+	rng *rand.Rand
+}
+
+// NewUniformKeys returns a uniform distribution over n keys.
+func NewUniformKeys(n uint64, rng *rand.Rand) *UniformKeys {
+	return &UniformKeys{n: n, rng: rng}
+}
+
+func (k *UniformKeys) Pick() uint64 { return uint64(k.rng.Int63n(int64(k.n))) }
+
+// HotKeys sends fraction hotFrac of traffic to the first hotCount keys
+// (uniformly among them) and the rest uniformly across the full space —
+// the classic hot-key skew knob: hotFrac=0.5, hotCount=1 means half of all
+// traffic hammers a single key, concentrating load on one shard.
+type HotKeys struct {
+	n        uint64
+	hotCount uint64
+	hotFrac  float64
+	rng      *rand.Rand
+}
+
+// NewHotKeys builds a hot-key distribution over n keys.
+func NewHotKeys(n, hotCount uint64, hotFrac float64, rng *rand.Rand) *HotKeys {
+	if hotCount < 1 {
+		hotCount = 1
+	}
+	return &HotKeys{n: n, hotCount: hotCount, hotFrac: hotFrac, rng: rng}
+}
+
+func (k *HotKeys) Pick() uint64 {
+	if k.rng.Float64() < k.hotFrac {
+		return uint64(k.rng.Int63n(int64(k.hotCount)))
+	}
+	return uint64(k.rng.Int63n(int64(k.n)))
+}
+
+// ZipfKeys draws keys Zipf-distributed with parameter s > 1 over [0, N) —
+// smooth popularity skew, versus HotKeys' step function.
+type ZipfKeys struct {
+	z *rand.Zipf
+}
+
+// NewZipfKeys builds a Zipf distribution over n keys with skew s.
+func NewZipfKeys(n uint64, s float64, rng *rand.Rand) *ZipfKeys {
+	return &ZipfKeys{z: rand.NewZipf(rng, s, 1, n-1)}
+}
+
+func (k *ZipfKeys) Pick() uint64 { return k.z.Uint64() }

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"errors"
+
+	"virtnet/internal/reliab"
+	"virtnet/internal/rpc"
+	"virtnet/internal/sim"
+)
+
+// Req is one in-flight serving request, harvested without blocking so a
+// single client proc drives many concurrent requests.
+type Req interface {
+	// TryWait reports whether the request finished (successfully or not).
+	TryWait(p *sim.Proc) (done bool, err error)
+	// Abandon drops the request; a late response is discarded as stale.
+	Abandon()
+}
+
+// Workload issues requests against one serving application. Implementations
+// own their transport (an rpc.Pool) and their key/op randomness (derived
+// streams, never engine PRNGs).
+type Workload interface {
+	// Issue starts request seq with the given reliability context.
+	Issue(p *sim.Proc, seq uint64, ctx reliab.Ctx) (Req, error)
+	// Poll services the workload's transport.
+	Poll(p *sim.Proc)
+}
+
+// ClientConfig shapes one open-loop client.
+type ClientConfig struct {
+	Arr      Arrival
+	Deadline sim.Duration // per-request SLO deadline (0 = none)
+	MaxOut   int          // inflight cap; arrivals beyond it are Capped
+	Start    sim.Time     // first arrival is scheduled from here
+	Stop     sim.Time     // no arrivals at or after this time
+	// Measurement window by issue time: only arrivals in [MeasureFrom,
+	// MeasureTo) count toward the SLO. Warmup traffic outside the window
+	// is still generated — the system must be in steady state when
+	// measurement opens.
+	MeasureFrom, MeasureTo sim.Time
+	// Drain bounds how long after Stop the client keeps harvesting
+	// in-flight requests before abandoning them (default 2× Deadline).
+	Drain sim.Duration
+}
+
+// pollTick paces harvest sweeps while requests are in flight.
+const pollTick = 20 * sim.Microsecond
+
+type inflightReq struct {
+	req      Req
+	issued   sim.Time
+	deadline sim.Time
+	measured bool
+}
+
+// RunClient runs one open-loop client to completion: arrivals fire on the
+// schedule regardless of how the system is doing (the load does not slow
+// down because the servers are struggling — that is the open loop), each
+// request's end-to-end latency is measured at harvest, and everything is
+// classified into the SLO. The arrival schedule is advanced from its own
+// clock (each gap is drawn at the previous arrival's timestamp), so the
+// offered sequence is a pure function of the arrival process's seed.
+func RunClient(p *sim.Proc, w Workload, cfg ClientConfig, slo *SLO) {
+	drain := cfg.Drain
+	if drain <= 0 {
+		drain = 2 * cfg.Deadline
+	}
+	var inflight []inflightReq
+	var seq uint64
+	next := cfg.Start.Add(cfg.Arr.Gap(cfg.Start))
+
+	classify := func(r *inflightReq, now sim.Time, err error) {
+		if !r.measured {
+			return
+		}
+		switch {
+		case err == nil && (r.deadline == 0 || now <= r.deadline):
+			slo.RecordGood(now.Sub(r.issued))
+		case err == nil:
+			slo.Missed++ // answered, but too late to serve
+		case errors.Is(err, rpc.ErrOverload):
+			slo.Shed++
+		case errors.Is(err, rpc.ErrDeadlineExceeded) || errors.Is(err, rpc.ErrTimeout):
+			slo.Missed++
+		default:
+			slo.Failed++
+		}
+	}
+
+	harvest := func(now sim.Time) {
+		w.Poll(p)
+		kept := inflight[:0]
+		for i := range inflight {
+			r := &inflight[i]
+			done, err := r.req.TryWait(p)
+			if !done && r.deadline != 0 && now > r.deadline {
+				// Past deadline: the response no longer matters. Abandon so
+				// client state can't accumulate behind a slow server.
+				r.req.Abandon()
+				done, err = true, rpc.ErrTimeout
+			}
+			if done {
+				classify(r, now, err)
+				continue
+			}
+			kept = append(kept, *r)
+		}
+		inflight = kept
+	}
+
+	for {
+		now := p.Now()
+		harvest(now)
+		// Fire every arrival that is due. The schedule advances by drawn
+		// gaps even when the client is saturated — queueing happens in the
+		// system or not at all, never silently in the generator.
+		for next < cfg.Stop && next <= now {
+			at := next
+			next = next.Add(cfg.Arr.Gap(next))
+			measured := at >= cfg.MeasureFrom && at < cfg.MeasureTo
+			if measured {
+				slo.Offered++
+			}
+			if cfg.MaxOut > 0 && len(inflight) >= cfg.MaxOut {
+				if measured {
+					slo.Capped++
+				}
+				continue
+			}
+			ctx := reliab.Ctx{}
+			var deadline sim.Time
+			if cfg.Deadline > 0 {
+				deadline = at.Add(cfg.Deadline)
+				ctx.Deadline = deadline
+			}
+			req, err := w.Issue(p, seq, ctx)
+			seq++
+			if err != nil {
+				r := inflightReq{issued: at, deadline: deadline, measured: measured}
+				classify(&r, now, err)
+				continue
+			}
+			if measured {
+				slo.Issued++
+			}
+			inflight = append(inflight, inflightReq{req: req, issued: at, deadline: deadline, measured: measured})
+		}
+		if next >= cfg.Stop && len(inflight) == 0 {
+			return
+		}
+		if next >= cfg.Stop && now >= cfg.Stop.Add(drain) {
+			// Drain window over: whatever is still in flight has failed.
+			for i := range inflight {
+				inflight[i].req.Abandon()
+				classify(&inflight[i], now, rpc.ErrTimeout)
+			}
+			return
+		}
+		// Sleep to the next interesting instant: the next arrival, or a
+		// poll tick if responses may land meanwhile.
+		sleep := next.Sub(now)
+		if next >= cfg.Stop {
+			sleep = cfg.Stop.Add(drain).Sub(now)
+		}
+		if len(inflight) > 0 && sleep > pollTick {
+			sleep = pollTick
+		}
+		if sleep <= 0 {
+			sleep = 1
+		}
+		p.Sleep(sleep)
+	}
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -269,7 +270,7 @@ func TestSummaryZeroSafe(t *testing.T) {
 	got := h.Summary()
 	// Interpolated quantiles: p50 of {10,30} is the midpoint, p99 sits
 	// 98% of the way between them (10 + 0.98*20 = 29.6, rounded to 30).
-	want := "n=2 mean=20ns p50=20ns p99=30ns min=10ns max=30ns"
+	want := "n=2 mean=20ns p50=20ns p99=30ns p999=30ns min=10ns max=30ns"
 	if got != want {
 		t.Fatalf("summary = %q, want %q", got, want)
 	}
@@ -297,6 +298,69 @@ func TestQuantileInterpolation(t *testing.T) {
 	for _, c := range cases {
 		if got := h.Quantile(c.q); got != c.want {
 			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// Regression: at 1e6 observations a 4096-sample reservoir has diluted the
+// tail to ~4 samples above p999 — before exact tail retention Quantile(0.999)
+// was off by orders of magnitude on skewed streams. The top-K tail keeps the
+// largest DefaultTailCap (2048 = top ~0.2%) samples exactly, so p999 must
+// now match a full-retention reference bit-for-bit.
+func TestReservoirTailExactP999At1e6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1e6-observation regression test")
+	}
+	const n = 1_000_000
+	gen := rand.New(rand.NewSource(99))
+	ref := NewHist()
+	res := NewHistReservoir(4096, rand.New(rand.NewSource(7)))
+	for i := 0; i < n; i++ {
+		// Heavy-tailed stream: mostly ~1ms with a 1-in-500 tail up to ~1s.
+		d := sim.Duration(1+gen.Int63n(int64(sim.Millisecond))) //nolint
+		if gen.Intn(500) == 0 {
+			d += sim.Duration(gen.Int63n(int64(sim.Second)))
+		}
+		ref.Observe(d)
+		res.Observe(d)
+	}
+	for _, q := range []float64{0.999, 0.9995, 0.9999, 1.0} {
+		want, got := ref.Quantile(q), res.Quantile(q)
+		if got != want {
+			t.Errorf("Quantile(%v) = %v, want exact %v", q, got, want)
+		}
+	}
+	// The reservoir estimate for mid quantiles must still come from the
+	// uniform sample, not the tail (p50 of this stream is ~0.5ms; the tail
+	// minimum is far above it).
+	if med := res.Quantile(0.5); med > 2*sim.Millisecond {
+		t.Errorf("median %v looks tail-contaminated", med)
+	}
+	if !strings.Contains(res.Summary(), "p999=") {
+		t.Errorf("Summary missing p999: %q", res.Summary())
+	}
+	if want := fmt.Sprintf("p999=%v", ref.Quantile(0.999)); !strings.Contains(res.Summary(), want) {
+		t.Errorf("Summary p999 not exact: %q missing %q", res.Summary(), want)
+	}
+}
+
+// The exact tail must survive interleaved Quantile calls (which sort the
+// heap in place) and continue absorbing later, larger samples.
+func TestReservoirTailSurvivesInterleavedQueries(t *testing.T) {
+	h := NewHistReservoir(32, rand.New(rand.NewSource(3)))
+	h.SetTailCap(8)
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Duration(i))
+		if i%10 == 0 {
+			h.Quantile(0.99) // sorts the tail mid-stream
+		}
+	}
+	// Largest 8 of 1..100 are 93..100; p((n-1-k)/(n-1)) hits them exactly.
+	for k := 0; k < 8; k++ {
+		q := float64(99-k) / 99
+		want := sim.Duration(100 - k)
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want exact %v", q, got, want)
 		}
 	}
 }
