@@ -94,6 +94,7 @@ var experiments = []struct {
 	{"tenants", "ext.    multi-tenant metered WRR shares under overcommit", runTenants},
 	{"degrade", "ext.    graceful degradation: goodput vs offered load", runDegrade},
 	{"serve", "ext.    serving-scale workloads: open-loop SLO curves", runServe},
+	{"tailat", "ext.    tail-latency attribution over request trace trees", runTailat},
 }
 
 // flagSet reports whether the named flag was set explicitly (before or

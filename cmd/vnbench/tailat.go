@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"virtnet/internal/bench"
+	"virtnet/internal/obs"
+	"virtnet/internal/sim"
+)
+
+// runTailat is the tail-latency attribution experiment: the four golden
+// serving scenarios run once each near saturation with the flight recorder
+// sampling request trace trees (1-in-8 measured arrivals), and the
+// critical-path analyzer folds every finished tree into a per-SLO-class
+// dominant-stage distribution plus exemplar worst traces. The point is
+// that *where* the tail comes from differs by scenario even when the p99
+// looks similar: incast tails attribute to fan-in convergence, fault churn
+// to retry backoff, hot keys to server queueing on the saturated shard.
+// Everything is virtual-time deterministic per (seed, shards); the golden
+// output is results_tailat.txt. -traceout additionally exports the last
+// scenario's merged timeline (per-shard tracks, traceID-linked flow
+// arrows) as Perfetto-compatible JSON.
+func runTailat() {
+	sh := *shards
+	if !flagSet("shards") {
+		sh = 4 // attribution is only interesting when the merge is real
+	}
+	nHosts, nServers, nClients := 256, 32, 64
+	warm, win := 50*sim.Millisecond, 150*sim.Millisecond
+	if *quick {
+		nHosts, nServers, nClients = 64, 8, 16
+		warm, win = 20*sim.Millisecond, 60*sim.Millisecond
+	}
+	if *hosts != 0 {
+		nHosts = *hosts
+		nServers = nHosts / 8
+		nClients = nHosts / 4
+	}
+	const factor = 1.0 // at the knee: tails form but each scenario keeps its own mechanism
+	const sample = 8   // 1-in-8 measured arrivals become trace trees
+
+	header(fmt.Sprintf("tailat — tail-latency attribution over request trace trees (%d hosts, %d shards, %d servers, %d clients)",
+		nHosts, sh, nServers, nClients))
+	fmt.Printf("offered load %.1fx capacity; deadline 20ms; 1-in-%d measured arrivals traced; %v window after %v warmup\n",
+		factor, sample, win, warm)
+
+	scenarios := []string{"baseline", "hotkey", "incast", "faultchurn"}
+	for _, scn := range scenarios {
+		var desc string
+		for _, s := range bench.ServeScenarios() {
+			if s.Name == scn {
+				desc = s.Desc
+			}
+		}
+		res, err := bench.RunServePoint(bench.ServeConfig{
+			Scenario: scn, Factor: factor,
+			Hosts: nHosts, Servers: nServers, Clients: nClients,
+			Shards: sh, Seed: *seed, Warmup: warm, Window: win,
+			TraceSample: sample,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tailat: %v\n", err)
+			os.Exit(2)
+		}
+		slo := res.SLO
+		secs := win.Seconds()
+		fmt.Printf("\n-- %s: %s --\n", scn, desc)
+		fmt.Printf("  offered %.0f/s  good %.1f%%  p50 %.2fms  p99 %.2fms  flights %d\n",
+			float64(slo.Offered)/secs, 100*slo.GoodputFrac(),
+			float64(slo.Lat.Quantile(0.5))/float64(sim.Millisecond),
+			float64(slo.Lat.Quantile(0.99))/float64(sim.Millisecond),
+			len(res.Flights))
+		fmt.Print(res.Attr.Render())
+
+		if *traceout != "" && scn == scenarios[len(scenarios)-1] {
+			f, err := os.Create(*traceout)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tailat: %v\n", err)
+				os.Exit(2)
+			}
+			if err := obs.WriteChromeTraceMerged(f, res.Tracers, res.ShardOf, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "tailat: %v\n", err)
+				os.Exit(2)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "tailat: wrote merged Perfetto trace (%s scenario) to %s\n", scn, *traceout)
+		}
+	}
+}

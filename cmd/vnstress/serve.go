@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"virtnet/internal/core"
 	"virtnet/internal/fault"
@@ -17,8 +18,9 @@ import (
 // runServeSoak is the serving soak (-serve): open-loop KV clients drive a
 // small protected serving tier at ~1.3× capacity through the reliability
 // layer while a seeded random fault plan churns links and crashes client
-// nodes. Puts carry idempotency keys and fan out to 2 replicas. At the end
-// it checks:
+// nodes. With -shards N the same soak runs on a sharded cluster, with the
+// flight recorder tracing request trees across shard boundaries. Puts
+// carry idempotency keys and fan out to 2 replicas. At the end it checks:
 //
 //   - no hang: every surviving client finishes its open-loop schedule and
 //     drain within a bounded settle window,
@@ -30,7 +32,9 @@ import (
 //     deliberate overload.
 //
 // With -dash the serve SLO panel (offered/good/shed plus live latency
-// quantiles) prints every 100 ms of simulated time.
+// quantiles) and a compact tail-attribution panel (per SLO class: count,
+// dominant stage) print every 100 ms of simulated time; the full
+// attribution report prints at the end either way.
 func runServeSoak() {
 	const (
 		nServers   = 4
@@ -43,13 +47,27 @@ func runServeSoak() {
 	if *nodes < nServers+2 {
 		fatal("serve soak needs at least %d nodes", nServers+2)
 	}
+	sh := 1
+	if flagSet("shards") {
+		sh = *shards
+	}
 	cfg := hostos.DefaultClusterConfig()
 	cfg.Net.DropProb = *drop
-	cl := hostos.NewCluster(*seed, *nodes, cfg)
+	cl := hostos.NewShardedCluster(*seed, *nodes, sh, cfg)
 	defer cl.Shutdown()
-	o := cl.EnableObs(obs.Options{SampleEvery: 8, RingCap: 256})
-	m := reliab.NewMetrics()
-	m.Register(o.R)
+	o := cl.EnableObs(obs.Options{SampleEvery: 8, RingCap: 1 << 12})
+
+	// One reliab metrics set per shard: every actor on a shard shares its
+	// shard's set (procs of one shard never run concurrently), and shard 0's
+	// feeds the dashboard's reliability section. Sums happen at the end.
+	ms := make([]*reliab.Metrics, cl.Shards())
+	for s := range ms {
+		ms[s] = reliab.NewMetrics()
+	}
+	ms[0].Register(o.R)
+	mfor := func(node *hostos.Node) *reliab.Metrics {
+		return ms[cl.ShardOfNode(int(node.ID))]
+	}
 
 	dur := sim.Duration(*duration * float64(sim.Second))
 	leaves := (*nodes + cfg.Net.HostsPerLeaf - 1) / cfg.Net.HostsPerLeaf
@@ -72,12 +90,12 @@ func runServeSoak() {
 
 	stop := false
 	ring := serve.NewRing(nServers, 32)
-	sopts := rpc.Options{Queue: 32, IdemCap: 1 << 16, Metrics: m, StaleAfter: staleAfter}
 	servers := make([]*serve.KVServer, nServers)
 	addrs := make([]serve.Addr, nServers)
 	for i := 0; i < nServers; i++ {
 		kv, err := serve.NewKVServer(cl.Nodes[i], core.Key(5000+i), serve.KVServerConfig{
-			Service: service, TrackEffects: true, Opts: sopts,
+			Service: service, TrackEffects: true,
+			Opts: rpc.Options{Queue: 32, IdemCap: 1 << 16, Metrics: mfor(cl.Nodes[i]), StaleAfter: staleAfter},
 		})
 		if err != nil {
 			fatal("kv server: %v", err)
@@ -89,18 +107,27 @@ func runServeSoak() {
 		})
 	}
 
-	// All clients share one SLO: the classic cluster is a single engine, so
-	// procs never run concurrently and the shared accumulator is race-free.
-	// That is what makes the live -dash panel possible.
-	slo := serve.NewSLO()
-	slo.Register(o.R, "serve")
-
-	// Drive the tier past its knee: capacity = servers / (service × work
-	// per op), offered at 1.3× so admission control must shed.
+	// Per-client SLOs (procs on different shards run concurrently, so a
+	// shared accumulator would race); the dashboard's serve panel reads a
+	// merged view at snapshot time, which only happens while the engines
+	// are parked between RunFor rounds.
 	workPerOp := (1 - putFrac) + putFrac*replicas
 	capacity := float64(nServers) * float64(sim.Second) / float64(service) / workPerOp
 	nClients := *nodes - nServers
 	perClient := 1.3 * capacity / float64(nClients)
+	slos := make([]*serve.SLO, nClients)
+	for ci := range slos {
+		slos[ci] = serve.NewSLO()
+	}
+	merged := func() *serve.SLO {
+		t := serve.NewSLO()
+		for _, s := range slos {
+			t.Merge(s)
+		}
+		return t
+	}
+	serve.RegisterMerged(o.R, "serve", merged)
+
 	clientDone := make([]bool, nClients)
 	pools := make([]*rpc.Pool, nClients)
 	for ci := 0; ci < nClients; ci++ {
@@ -115,18 +142,23 @@ func runServeSoak() {
 				ValSize:  64,
 				IdemPuts: true,
 				ClientID: uint64(ci + 1),
-			}, rpc.Options{Metrics: m}, serve.DeriveRNG(*seed, uint64(0x30000+ci)))
+			}, rpc.Options{Metrics: mfor(node)}, serve.DeriveRNG(*seed, uint64(0x30000+ci)))
 			if err != nil {
 				fatal("workload %d: %v", ci, err)
 			}
 			pools[ci] = w.Pool()
-			serve.RunClient(p, w, serve.ClientConfig{
+			ccfg := serve.ClientConfig{
 				Arr:       serve.NewPoisson(perClient, serve.DeriveRNG(*seed, uint64(0x10000+ci))),
 				Deadline:  deadline,
 				MaxOut:    64,
 				Stop:      sim.Time(dur),
 				MeasureTo: sim.Time(dur),
-			}, slo)
+			}
+			if node.Obs != nil {
+				ccfg.Tracer = node.Obs.T
+				ccfg.TraceNode = int(node.ID)
+			}
+			serve.RunClient(p, w, ccfg, slos[ci])
 			// Poll the pool until its re-issue bookkeeping drains (late
 			// returns from fault outages can still be in flight).
 			until := p.Now().Add(2 * staleAfter)
@@ -144,14 +176,15 @@ func runServeSoak() {
 	// No-hang invariant: surviving clients settle within a bounded window.
 	stopAt := sim.Time(dur)
 	limit := stopAt.Add(10 * sim.Second)
-	lastDash := cl.E.Now()
-	for cl.E.Now() < limit {
-		cl.E.RunFor(10 * sim.Millisecond)
-		if *dash && cl.E.Now().Sub(lastDash) >= 100*sim.Millisecond {
+	lastDash := cl.Now()
+	for cl.Now() < limit {
+		cl.RunFor(10 * sim.Millisecond)
+		if *dash && cl.Now().Sub(lastDash) >= 100*sim.Millisecond {
 			fmt.Print(o.R.DashboardSection("serve"))
-			lastDash = cl.E.Now()
+			fmt.Print(attrPanel(obs.Attribute(cl.MergedFlights(), 1)))
+			lastDash = cl.Now()
 		}
-		settled := cl.E.Now() >= stopAt.Add(2*deadline)
+		settled := cl.Now() >= stopAt.Add(2*deadline)
 		for ci := range clientDone {
 			if !clientDone[ci] && !everCrashed[nServers+ci] {
 				settled = false
@@ -167,10 +200,26 @@ func runServeSoak() {
 		}
 	}
 	// Run past the stale-sweep horizon so servers reclaim partial calls
-	// from crashed clients, then stop the serving loops.
-	cl.E.RunFor(2 * staleAfter)
+	// from crashed clients. A reply bouncing off a crashed client re-arms
+	// its reissue record's stale clock on every return-to-sender cycle, so
+	// the last record can still be inside its stale window when the first
+	// horizon passes — keep serving until every server drains (bounded).
+	drainUntil := cl.Now().Add(6 * staleAfter)
+	for {
+		cl.RunFor(2 * staleAfter)
+		clear := true
+		for _, kv := range servers {
+			if calls, reissues, queued, deferred := kv.S.Outstanding(); calls+reissues+queued+deferred != 0 {
+				clear = false
+				break
+			}
+		}
+		if clear || cl.Now() >= drainUntil {
+			break
+		}
+	}
 	stop = true
-	cl.E.RunFor(10 * sim.Millisecond)
+	cl.RunFor(10 * sim.Millisecond)
 
 	crashed := 0
 	for ci := range clientDone {
@@ -178,9 +227,10 @@ func runServeSoak() {
 			crashed++
 		}
 	}
+	slo := merged()
 	fmt.Printf("serve traffic: %s\n", slo.Line(dur))
-	fmt.Printf("clients: %d total, %d lost to crashes; capacity %.0f req/s offered at 1.3x\n",
-		nClients, crashed, capacity)
+	fmt.Printf("clients: %d total, %d lost to crashes; capacity %.0f req/s offered at 1.3x across %d shards\n",
+		nClients, crashed, capacity, cl.Shards())
 
 	// SLO sanity: the open loop must have offered load, and the protected
 	// tier must have served a real fraction of it despite the overload.
@@ -205,7 +255,10 @@ func runServeSoak() {
 	if dups > 0 {
 		fatal("INVARIANT VIOLATION: %d of %d idempotency keys executed more than once", dups, keys)
 	}
-	absorbed := m.Get("idem_hits") + m.Get("idem_dup")
+	var absorbed int64
+	for _, m := range ms {
+		absorbed += m.Get("idem_hits") + m.Get("idem_dup")
+	}
 	fmt.Printf("exactly-once holds: %d puts applied across %d replicas, 0 duplicate executions (%d duplicates absorbed by the idem cache)\n",
 		applied, nServers, absorbed)
 
@@ -226,6 +279,31 @@ func runServeSoak() {
 	}
 	fmt.Println("zero leaks: all pool slots, re-issue records, and admission queues drained")
 
+	// Tail attribution over the soak's sampled request trees — the merged
+	// cross-shard timeline folded per SLO class.
+	cl.SweepOpenFlights("run-end")
+	flights := cl.MergedFlights()
+	fmt.Printf("tail attribution over %d merged flights:\n", len(flights))
+	fmt.Print(obs.Attribute(flights, 2).Render())
+
 	fmt.Print(o.R.DashboardSection("serve"))
-	fmt.Printf("final sim time %v\n", sim.Duration(cl.E.Now()))
+	fmt.Printf("final sim time %v\n", sim.Duration(cl.Now()))
+}
+
+// attrPanel renders the compact one-line tail-attribution panel the -dash
+// loop prints alongside the SLO section: per SLO class, how many sampled
+// requests have finished and which stage dominates their cost.
+func attrPanel(a *obs.Attribution) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[serve.tailat] attributable=%d", a.Roots)
+	for i := range a.Classes {
+		ca := &a.Classes[i]
+		if ca.N == 0 {
+			continue
+		}
+		st, frac := ca.DominantStage()
+		fmt.Fprintf(&b, "  %s:%d dom=%s %.0f%%", ca.Class, ca.N, st, 100*frac)
+	}
+	b.WriteString("\n")
+	return b.String()
 }

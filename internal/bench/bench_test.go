@@ -171,6 +171,19 @@ func BenchmarkSimPerfTraceOn(b *testing.B) {
 	benchSimPerf(b, 1)
 }
 
+// BenchmarkSimPerfTraceOff4Shard / TraceOn4Shard are the sharded overhead
+// guards: the scaled workload on a 4-shard cluster, tracing off and on.
+// The off variant pins the cost of the cross-shard exchange alone (handoff
+// instrumentation must still degenerate to nil checks); the on variant adds
+// the per-shard arenas plus boundary handoff records.
+func BenchmarkSimPerfTraceOff4Shard(b *testing.B) {
+	benchSimPerfSharded(b, 0)
+}
+
+func BenchmarkSimPerfTraceOn4Shard(b *testing.B) {
+	benchSimPerfSharded(b, 1)
+}
+
 func benchSimPerf(b *testing.B, traceSample int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -182,11 +195,24 @@ func benchSimPerf(b *testing.B, traceSample int) {
 	}
 }
 
+func benchSimPerfSharded(b *testing.B, traceSample int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := RunSimPerf(SimPerfConfig{Hosts: 64, Msgs: 2000, Seed: 1, Shards: 4, TraceSample: traceSample})
+		if res.Replied != 32*2000 {
+			b.Fatalf("replied %d, want %d", res.Replied, 32*2000)
+		}
+		b.ReportMetric(float64(res.Mallocs)/float64(res.Replied), "mallocs/msg")
+	}
+}
+
 // TestTracingDisabledAllocBudget pins the disabled-path allocation cost:
 // with no obs layer the whole stack must stay within the historical
 // per-message malloc budget (~4 with pooling; headroom to 6 covers runtime
-// noise). A regression here means an instrumentation site allocates even
-// when tracing is off.
+// noise). The 4-shard variant adds the cross-shard exchange (envelope per
+// boundary crossing, goroutine parking): ~6.2 steady-state, budget 8. A
+// regression here means an instrumentation site allocates even when
+// tracing is off.
 func TestTracingDisabledAllocBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simperf run is slow")
@@ -198,6 +224,15 @@ func TestTracingDisabledAllocBudget(t *testing.T) {
 	perMsg := float64(res.Mallocs) / float64(res.Replied)
 	if perMsg > 6.0 {
 		t.Fatalf("tracing-disabled path allocates %.2f mallocs/msg, budget 6.0", perMsg)
+	}
+
+	res = RunSimPerf(SimPerfConfig{Hosts: 64, Msgs: 5000, Seed: 1, Shards: 4})
+	if res.Replied != 32*5000 {
+		t.Fatalf("sharded replied %d, want %d", res.Replied, 32*5000)
+	}
+	perMsg = float64(res.Mallocs) / float64(res.Replied)
+	if perMsg > 8.0 {
+		t.Fatalf("tracing-disabled 4-shard path allocates %.2f mallocs/msg, budget 8.0", perMsg)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"virtnet/internal/core"
 	"virtnet/internal/fault"
 	"virtnet/internal/hostos"
+	"virtnet/internal/obs"
 	"virtnet/internal/reliab"
 	"virtnet/internal/rpc"
 	"virtnet/internal/serve"
@@ -43,6 +44,11 @@ type ServeConfig struct {
 	// shedding, no breakers. Past saturation the queues only grow and every
 	// reply is stale — the collapse the golden curves contrast against.
 	Ablate bool
+	// TraceSample, when > 0, enables the flight recorder at 1-in-N sampling:
+	// each client's measured arrivals become request trace trees (root,
+	// per-fragment wire spans, server op spans, retry/backoff spans), merged
+	// across shards after the run into Flights/Attr. 0 leaves tracing off.
+	TraceSample int
 }
 
 // ServeResult is one row of the offered-load sweep: the merged SLO across
@@ -57,6 +63,16 @@ type ServeResult struct {
 	ServerOps int64 // operations executed by the serving tier
 	Hedges    int64 // gateway scenario: hedges issued / won
 	HedgeWins int64
+
+	// Flights is the merged cross-shard trace timeline (TraceSample > 0
+	// only), ordered by (time, shard, sequence); Attr is the tail
+	// attribution computed over its finished request trees. Tracers holds
+	// the per-shard arenas (shard order) and ShardOf the node→shard map,
+	// for Perfetto export of the merged timeline.
+	Flights []*obs.Flight
+	Attr    *obs.Attribution
+	Tracers []*obs.Tracer
+	ShardOf func(node int) int
 }
 
 // ServeScenario names one scenario axis of the serving experiment.
@@ -129,6 +145,10 @@ func RunServePoint(cfg ServeConfig) (ServeResult, error) {
 	}
 	c := hostos.NewShardedCluster(cfg.Seed, cfg.Hosts, cfg.Shards, ccfg)
 	defer c.Shutdown()
+	if cfg.TraceSample > 0 {
+		// Before any server attaches: bundles capture the tracer at attach.
+		c.EnableObs(obs.Options{SampleEvery: cfg.TraceSample, RingCap: 1 << 14})
+	}
 
 	res := ServeResult{Cfg: cfg}
 	stop := false
@@ -364,7 +384,7 @@ func RunServePoint(cfg ServeConfig) (ServeResult, error) {
 			if err != nil {
 				return
 			}
-			serve.RunClient(p, w, serve.ClientConfig{
+			ccfg := serve.ClientConfig{
 				Arr:         arr,
 				Deadline:    serveDeadline,
 				MaxOut:      serveMaxOut,
@@ -372,7 +392,12 @@ func RunServePoint(cfg ServeConfig) (ServeResult, error) {
 				MeasureFrom: measureFrom,
 				MeasureTo:   measureTo,
 				Drain:       serveDrain,
-			}, slo)
+			}
+			if node.Obs != nil {
+				ccfg.Tracer = node.Obs.T
+				ccfg.TraceNode = int(node.ID)
+			}
+			serve.RunClient(p, w, ccfg, slo)
 		})
 	}
 
@@ -394,6 +419,15 @@ func RunServePoint(cfg ServeConfig) (ServeResult, error) {
 		res.Retries += m.Get("retries")
 	}
 	harvestOps()
+	if cfg.TraceSample > 0 {
+		// Account for every started flight (a crash can strand one open),
+		// then stitch the per-shard arenas into one deterministic timeline.
+		c.SweepOpenFlights("run-end")
+		res.Flights = c.MergedFlights()
+		res.Attr = obs.Attribute(res.Flights, 3)
+		res.Tracers = c.Tracers()
+		res.ShardOf = c.ShardOfNode
+	}
 	return res, nil
 }
 

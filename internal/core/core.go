@@ -153,6 +153,11 @@ func Attach(node *hostos.Node) *Bundle {
 // Endpoints returns the bundle's endpoints.
 func (b *Bundle) Endpoints() []*Endpoint { return b.eps }
 
+// Tracer exposes the flight recorder this bundle's node is wired to (nil
+// when tracing is off). Higher layers use it to open request-level spans
+// that share a trace id with the message flights beneath them.
+func (b *Bundle) Tracer() *obs.Tracer { return b.tracer }
+
 // SetResolver installs the cluster name service used to locate endpoints
 // that may have migrated. Affects subsequent Map calls and message posting;
 // existing cached locations refresh lazily when a send bounces off a
@@ -267,6 +272,21 @@ func (ep *Endpoint) Name() EndpointName { return ep.name }
 // Moved reports whether this handle's endpoint was migrated away (all
 // operations on it return ErrMoved).
 func (ep *Endpoint) Moved() bool { return ep.moved }
+
+// Trace returns the ambient trace id: the trace of the flight whose handler
+// is currently dispatching on this endpoint, or one installed explicitly
+// with SetTrace. 0 means untraced.
+func (ep *Endpoint) Trace() uint64 { return ep.curTrace }
+
+// SetTrace installs an ambient trace id on the endpoint and returns the
+// previous one, so request-level layers can bracket a send with
+// prev := ep.SetTrace(id); ...; ep.SetTrace(prev) and have every message
+// posted in between join the request's trace as a child span.
+func (ep *Endpoint) SetTrace(id uint64) uint64 {
+	prev := ep.curTrace
+	ep.curTrace = id
+	return prev
+}
 
 // Segment exposes the OS segment backing this endpoint (for instrumentation).
 func (ep *Endpoint) Segment() *hostos.Segment { return ep.seg }

@@ -20,20 +20,25 @@ import (
 // Metrics-only (SampleEvery == 0) draws nothing and perturbs nothing.
 //
 // On a sharded cluster each shard gets its own observability layer on its
-// own engine — a node's counters register with its shard's registry, so no
-// registry is ever touched from two shards — and the flight recorder is
-// forced off: a sampled flight rides the packet across the fabric, and a
-// trace context must not cross a shard boundary. MergedSnapshot stitches
-// the per-shard registries back into one deterministic stream. The fabric
-// aggregate gauges (net.sent and friends) read every replica's counters,
-// so snapshot only between runs, while the shards are parked at a barrier.
+// own engine — a node's counters register with its shard's registry and a
+// node's sampled flights finalize into its shard's tracer arena, so neither
+// is ever touched from two shards. A traced packet that crosses the fabric
+// hands its flight off at the boundary: the source shard finalizes its
+// segment, only the 64-bit trace identity rides the exchange, and the
+// destination shard's replica opens a continuation from its own arena (the
+// tracer installed here via SetTracer). MergedSnapshot and MergedFlights
+// stitch the per-shard streams back into one deterministic timeline — span
+// ids carry the shard in their high bits, so the merge order is exactly
+// (time, shard, seq). The fabric aggregate gauges (net.sent and friends)
+// read every replica's counters, so snapshot only between runs, while the
+// shards are parked at a barrier.
 func (c *Cluster) EnableObs(opt obs.Options) *obs.Obs {
-	if c.Coord != nil {
-		opt.SampleEvery = 0
-	}
 	c.shardObs = nil
 	for s := 0; s < c.Shards(); s++ {
-		c.shardObs = append(c.shardObs, obs.New(c.ShardEngine(s), len(c.Nodes), opt))
+		opt.Shard = s
+		o := obs.New(c.ShardEngine(s), len(c.Nodes), opt)
+		c.shardObs = append(c.shardObs, o)
+		c.ShardNet(s).SetTracer(o.T)
 	}
 	for _, n := range c.Nodes {
 		sh := c.shardIdxOf(n.ID)
@@ -123,4 +128,39 @@ func (c *Cluster) MergedSnapshot() obs.Snap {
 		snaps = append(snaps, o.R.Snapshot())
 	}
 	return obs.MergeSnaps(snaps)
+}
+
+// ShardOfNode maps a host id to the shard that owns it (always 0 on a
+// classic cluster) — the track-labeling callback trace exporters want.
+func (c *Cluster) ShardOfNode(id int) int {
+	return c.shardIdxOf(netsim.NodeID(id))
+}
+
+// Tracers returns every shard's flight-recorder arena in shard order (nil
+// entries when tracing is off). Like MergedSnapshot, touch it only while
+// the cluster is paused between runs.
+func (c *Cluster) Tracers() []*obs.Tracer {
+	out := make([]*obs.Tracer, 0, len(c.shardObs))
+	for _, o := range c.shardObs {
+		out = append(out, o.T)
+	}
+	return out
+}
+
+// MergedFlights merges every shard's retained flights into one timeline
+// ordered by (time, shard, sequence) — byte-deterministic per (seed, shard
+// count). Call only while the cluster is paused between runs.
+func (c *Cluster) MergedFlights() []*obs.Flight {
+	return obs.MergeFlights(c.Tracers())
+}
+
+// SweepOpenFlights finalizes every shard's still-open flights as dropped
+// with the given reason, so an end-of-run analysis accounts for every
+// started flight. Returns the total swept. Call only between runs.
+func (c *Cluster) SweepOpenFlights(reason string) int {
+	n := 0
+	for s, o := range c.shardObs {
+		n += o.T.SweepOpen(reason, c.ShardEngine(s).Now())
+	}
+	return n
 }

@@ -32,6 +32,7 @@ package netsim
 import (
 	"fmt"
 
+	"virtnet/internal/obs"
 	"virtnet/internal/sim"
 )
 
@@ -143,6 +144,13 @@ type xfer struct {
 	corrupt  bool
 	route    int
 	headAt   sim.Time // when the head reaches the first destination-half link
+	// Trace identity of a sampled packet, carried by value: the source
+	// shard finalizes its segment of the flight at the handoff instant and
+	// the destination opens a continuation from its own arena — no
+	// *obs.Flight pointer ever crosses the boundary.
+	traceID uint64
+	srcSpan uint64
+	kind    obs.Kind
 }
 
 // sendCross injects a packet whose destination lives on another shard: the
@@ -154,6 +162,9 @@ func (n *Network) sendCross(pkt *Packet, route int, dstShard int) {
 	if n.cfg.DropProb > 0 && n.e.Rand().Float64() < n.cfg.DropProb {
 		n.Dropped++
 		n.hostUp[pkt.Src].dropped++
+		if pkt.Flight != nil {
+			pkt.Flight.Note("loss:fabric", n.e.Now())
+		}
 		return
 	}
 	links := n.path(pkt.Src, pkt.Dst, route)
@@ -163,6 +174,9 @@ func (n *Network) sendCross(pkt *Packet, route int, dstShard int) {
 		if L.down {
 			L.dropped++
 			n.Dropped++
+			if pkt.Flight != nil {
+				pkt.Flight.Note("loss:"+L.name, n.e.Now())
+			}
 			return
 		}
 		if g := L.ge; g != nil {
@@ -173,6 +187,9 @@ func (n *Network) sendCross(pkt *Packet, route int, dstShard int) {
 			if pl > 0 && n.e.Rand().Float64() < pl {
 				L.dropped++
 				n.Dropped++
+				if pkt.Flight != nil {
+					pkt.Flight.Note("burst-loss:"+L.name, n.e.Now())
+				}
 				return
 			}
 		}
@@ -181,6 +198,9 @@ func (n *Network) sendCross(pkt *Packet, route int, dstShard int) {
 	if n.corrupt > 0 && !corrupt && n.e.Rand().Float64() < n.corrupt {
 		corrupt = true
 		n.Corrupted++
+		if pkt.Flight != nil {
+			pkt.Flight.Note("corrupt", n.e.Now())
+		}
 	}
 	for _, L := range links[:half] {
 		L.delivered++
@@ -218,6 +238,20 @@ func (n *Network) sendCross(pkt *Packet, route int, dstShard int) {
 		control: pkt.Control, corrupt: corrupt, route: route,
 		headAt: t0.Add(sim.Duration(half) * hop),
 	}
+	if fl := pkt.Flight; fl != nil && !fl.Done() {
+		// Record the source half of the cut-through schedule, then finalize
+		// this shard's segment at the instant the head crosses the midpoint.
+		// The destination opens a continuation at the same instant, so the
+		// two segments tile the packet's life. A retransmitted copy finds
+		// the flight already finalized and crosses untraced — one crossing,
+		// one continuation.
+		for i, L := range links[:half] {
+			start := t0.Add(sim.Duration(i) * hop)
+			fl.AddHop(L.name, start, start.Add(tx))
+		}
+		x.traceID, x.srcSpan, x.kind = fl.TraceID, fl.Span, fl.Kind
+		fl.Handoff(x.headAt)
+	}
 	peer := n.fab.nets[dstShard]
 	n.e.PostRemote(dstShard, done, func() { peer.applyCross(x) })
 }
@@ -229,6 +263,12 @@ func (n *Network) applyCross(x xfer) {
 	pkt := n.AllocPacket() // the transit reference, released at handoff/loss
 	pkt.Src, pkt.Dst, pkt.Size, pkt.Payload = x.src, x.dst, x.size, x.payload
 	pkt.Control, pkt.Corrupt = x.control, x.corrupt
+	if x.traceID != 0 {
+		// Continue the traced packet's flight from this shard's own arena,
+		// beginning at the handoff instant; the receive path marks the
+		// remaining stages on it and it files into this shard's rings.
+		pkt.Flight = n.tracer.Continue(x.traceID, x.srcSpan, int(x.src), int(x.dst), x.kind, x.headAt)
+	}
 	if !pkt.Control {
 		if adm := n.admission[pkt.Dst]; adm != nil {
 			if len(n.waitq[pkt.Dst]) > 0 || !adm() {
@@ -255,6 +295,10 @@ func (n *Network) injectTail(pkt *Packet, route int, headAt sim.Time) {
 		if L.down {
 			L.dropped++
 			n.Dropped++
+			// The source segment is already finalized, so a continuation
+			// lost on the destination half ends here: the retransmission
+			// that masks the loss crosses as a fresh untraced packet.
+			pkt.Flight.Drop(obs.StageWire, "loss:"+L.name, n.e.Now())
 			pkt.Release()
 			return
 		}
@@ -266,6 +310,7 @@ func (n *Network) injectTail(pkt *Packet, route int, headAt sim.Time) {
 			if pl > 0 && n.e.Rand().Float64() < pl {
 				L.dropped++
 				n.Dropped++
+				pkt.Flight.Drop(obs.StageWire, "burst-loss:"+L.name, n.e.Now())
 				pkt.Release()
 				return
 			}
@@ -295,6 +340,12 @@ func (n *Network) injectTail(pkt *Packet, route int, headAt sim.Time) {
 		start := s.Add(sim.Duration(i) * hop)
 		L.busy += tx
 		L.freeAt = start.Add(tx)
+	}
+	if pkt.Flight != nil {
+		for i, L := range tail {
+			start := s.Add(sim.Duration(i) * hop)
+			pkt.Flight.AddHop(L.name, start, start.Add(tx))
+		}
 	}
 	done := s.Add(sim.Duration(len(tail))*hop + tx)
 	if done < n.e.Now() {

@@ -213,6 +213,11 @@ type Network struct {
 	// corrupt is the per-packet probability that a delivered packet's bits
 	// are flipped in flight (fault injection; see SetCorruptProb).
 	corrupt float64
+	// tracer is this shard's flight-recorder arena: the fabric opens
+	// destination-side continuation flights from it when a traced packet
+	// crosses a shard boundary (nil when tracing is off — every trace hook
+	// degenerates to a nil check).
+	tracer *obs.Tracer
 	// freePkt and freeTr recycle packets and in-flight transit records, so
 	// steady-state traffic allocates nothing per packet.
 	freePkt *Packet
@@ -357,6 +362,13 @@ func (tr *transit) run() {
 	tr.n.freeTr = tr
 	tr.n.handoff(pkt)
 }
+
+// SetTracer installs this shard's flight-recorder arena. The fabric uses
+// it to open continuation flights for traced packets arriving from other
+// shards, so hop records land on the shard that owns the receiver. Must be
+// the arena of the engine driving this replica — flights are shard-local
+// and unsynchronized by design.
+func (n *Network) SetTracer(t *obs.Tracer) { n.tracer = t }
 
 // NumHosts returns the number of attached host ports.
 func (n *Network) NumHosts() int { return n.nhosts }

@@ -356,7 +356,7 @@ func (n *NIC) fromNetwork(p *netsim.Packet) {
 		n.C.Inc("rx.dark_drop")
 		if w, ok := p.Payload.(*wirePkt); ok {
 			if w.Kind == pktData {
-				w.flight.Note("rx-dark-drop", n.e.Now())
+				n.noteRxLoss(p.Flight, "rx-dark-drop")
 			} else {
 				w.releaseTo(n)
 			}
@@ -372,7 +372,7 @@ func (n *NIC) fromNetwork(p *netsim.Packet) {
 		if pkt.Kind != pktData {
 			pkt.releaseTo(n)
 		} else {
-			pkt.flight.Note("rx-crc-drop", n.e.Now())
+			n.noteRxLoss(p.Flight, "rx-crc-drop")
 		}
 		return
 	}
@@ -380,6 +380,15 @@ func (n *NIC) fromNetwork(p *netsim.Packet) {
 		n.inboundCtl.Push(pkt)
 		n.wake()
 		return
+	}
+	if p.Flight != nil {
+		// Take the flight from the network packet, not the wire header: on
+		// an intra-shard path it is the sender's flight (same pointer the
+		// header carries), but on a cross-shard path it is the continuation
+		// this shard's fabric replica opened — the sender's flight must not
+		// be touched from here. Recorded even when this copy is refused
+		// below, so a retransmitted copy completes the same flight.
+		pkt.rxFlight = p.Flight
 	}
 	if n.cfg.InboundPool > 0 && n.inbound.Len() >= n.cfg.InboundPool {
 		// Staging pool exhausted: refuse the packet at arrival and let the
@@ -401,11 +410,26 @@ func (n *NIC) fromNetwork(p *netsim.Packet) {
 		n.wake()
 		return
 	}
-	if pkt.flight != nil {
+	if pkt.rxFlight != nil {
 		pkt.arrived = n.e.Now()
 	}
 	n.inbound.Push(pkt)
 	n.wake()
+}
+
+// noteRxLoss annotates a traced arrival that died at the receiving NI. A
+// destination-shard continuation (Link != 0) ends here — its source segment
+// is already finalized and the masking retransmission crosses untraced —
+// while an intra-shard flight stays open for the sender's retransmission.
+func (n *NIC) noteRxLoss(fl *obs.Flight, what string) {
+	if fl == nil {
+		return
+	}
+	if fl.Link != 0 {
+		fl.Drop(obs.StageWire, what, n.e.Now())
+		return
+	}
+	fl.Note(what, n.e.Now())
 }
 
 // loop is the firmware dispatch loop. Deferred work (timer-driven
@@ -904,7 +928,7 @@ func (n *NIC) deliver(p *sim.Proc, pkt *wirePkt) (pktKind, NackReason) {
 	msg.ReplyKey = pkt.ReplyKey
 	msg.Arrive = n.e.Now()
 	msg.Visible = n.e.Now().Add(n.cfg.DepositLatency)
-	if fl := pkt.flight; fl != nil {
+	if fl := pkt.rxFlight; fl != nil {
 		// Close the wire interval at the copy's recorded arrival, then the
 		// NI receive interval (critical path + deposit DMA) at now.
 		fl.Mark(obs.StageWire, pkt.arrived)

@@ -85,11 +85,19 @@ type wirePkt struct {
 	// Sender-side reference to the originating descriptor; never
 	// "serialized" (acks identify messages by channel+seq).
 	desc *SendDesc
-	// flight is the trace context copied from the descriptor at send time;
-	// arrived stamps the accepted inbound arrival on the receive side so a
-	// later deliver can split wire transit from NI receive processing.
-	flight  *obs.Flight
-	arrived sim.Time
+	// flight is the trace context copied from the descriptor at send time —
+	// owned by the sending shard, which retransmission paths consult.
+	// rxFlight and arrived are written only by the receiving NI: rxFlight is
+	// the flight the delivery callback handed over (the sender's flight on
+	// an intra-shard path, the destination shard's continuation on a
+	// cross-shard one), and arrived stamps the accepted inbound arrival so a
+	// later deliver can split wire transit from NI receive processing. The
+	// sender never touches rxFlight/arrived and the receiver never touches
+	// flight, so the split is race-free when the two NIs live on different
+	// engine shards.
+	flight   *obs.Flight
+	rxFlight *obs.Flight
+	arrived  sim.Time
 	// netPkt is the sender-side handle to the last transmission's network
 	// packet, consulted to suppress retransmission while it is parked
 	// behind back pressure.

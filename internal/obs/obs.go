@@ -57,6 +57,31 @@ const (
 	// bookkeeping). The flight ends when the handler starts running, so the
 	// recorded pipeline is exactly "doorbell to handler".
 	StageHandler
+
+	// The stages below label request-level flights (KindReq roots and
+	// KindOp children) rather than single messages: the reliability and
+	// serving layers mark them so a whole request decomposes into waiting,
+	// fan-in, backoff, and server-side queueing the same way a message
+	// decomposes into NI and wire time.
+
+	// StageRPCWait: request issued → first branch (replica / backend call)
+	// completed. This is the in-flight RPC time the client spends waiting.
+	StageRPCWait
+	// StageBackoff: a bounced fragment's deterministic re-issue delay.
+	StageBackoff
+	// StageFanIn: first branch completed → last branch completed; fan-in
+	// queueing at the client is what stretches this under incast.
+	StageFanIn
+	// StageAdmitWait: call admitted to the server queue → execution start.
+	StageAdmitWait
+	// StageService: execution start → result handed to the send path.
+	StageService
+	// StageBreakerOpen: a call failed fast on an open circuit breaker.
+	StageBreakerOpen
+	// StageDeadlineShed: a call shed because its deadline had passed
+	// (client-side before issue, or server-side before/while queued).
+	StageDeadlineShed
+
 	// NumStages bounds the taxonomy.
 	NumStages
 )
@@ -64,6 +89,8 @@ const (
 var stageNames = [NumStages]string{
 	"host-post", "wrr-wait", "ni-send", "wire",
 	"remote-ni", "deposit", "host-poll", "handler",
+	"rpc-wait", "backoff", "fan-in", "admit-wait",
+	"service", "brk-fastfail", "deadln-shed",
 }
 
 func (s Stage) String() string {
@@ -80,10 +107,12 @@ const (
 	KindShort Kind = iota // short request
 	KindBulk              // bulk request (payload staged by DMA)
 	KindReply             // reply (short or bulk)
+	KindReq               // request-level root span (one serving request)
+	KindOp                // request-level child span (retry, backoff, queueing)
 	NumKinds
 )
 
-var kindNames = [NumKinds]string{"short", "bulk", "reply"}
+var kindNames = [NumKinds]string{"short", "bulk", "reply", "request", "op"}
 
 func (k Kind) String() string {
 	if k < NumKinds {
@@ -134,6 +163,14 @@ type Flight struct {
 	// died; DropReason is empty on flights that completed.
 	DropStage  Stage
 	DropReason string
+	// HandedOff marks a flight finalized at a shard boundary: the message
+	// crossed the fabric into another shard's engine, where a continuation
+	// flight (Link = this flight's Span) picks up the remaining stages.
+	HandedOff bool
+	// Link, on a continuation flight, is the Span of the source-shard
+	// segment it continues; 0 on ordinary flights. Exporters use the pair
+	// to draw a flow arrow across the boundary.
+	Link uint64
 
 	last sim.Time
 	done bool
@@ -171,25 +208,54 @@ func (f *Flight) Note(what string, at sim.Time) {
 	f.Notes = append(f.Notes, Note{What: what, At: at})
 }
 
-// Finish completes the flight and files it into its tracer's ring.
+// Finish completes the flight and files it into its tracer's ring. An end
+// timestamped before the last mark is clamped forward to it (the same
+// policy Mark applies to backward timestamps): callers that observed a
+// completion mid-sweep may finalize with the sweep's start time, and the
+// stage vector must never overshoot the recorded end-to-end window.
 func (f *Flight) Finish(now sim.Time) {
 	if f == nil || f.done {
 		return
+	}
+	if now < f.last {
+		now = f.last
 	}
 	f.End = now
 	f.done = true
 	f.tr.finalize(f)
 }
 
+// Handoff finalizes the flight at a shard boundary at time at: the open
+// interval is closed as wire time (the message is mid-flight on the fabric)
+// and the flight files into its source shard's ring marked HandedOff. The
+// destination shard opens a continuation via Tracer.Continue at the same
+// instant, so the two segments tile the message's life without overlap and
+// the stage-sum invariant holds for each segment.
+func (f *Flight) Handoff(at sim.Time) {
+	if f == nil || f.done {
+		return
+	}
+	f.Mark(StageWire, at)
+	f.HandedOff = true
+	f.End = f.last
+	f.done = true
+	f.tr.finalize(f)
+}
+
 // Drop completes the flight as undelivered: the open interval is closed at
-// the drop point and labeled with the stage the message died in.
+// the drop point and labeled with the stage the message died in. An empty
+// reason is normalized to "dropped" so DropReason is always non-empty on
+// dropped flights — the invariant Decompose uses to exclude them.
 func (f *Flight) Drop(at Stage, reason string, now sim.Time) {
 	if f == nil || f.done {
 		return
 	}
+	if reason == "" {
+		reason = "dropped"
+	}
 	f.DropStage, f.DropReason = at, reason
 	f.Mark(at, now)
-	f.End = now
+	f.End = f.last // like Finish: never before the final mark
 	f.done = true
 	f.tr.finalize(f)
 }
@@ -245,8 +311,18 @@ func (r *ring) chronological() []*Flight {
 
 // Tracer is the message flight recorder: it makes the sampling decision,
 // tracks open flights, and retains finalized ones in bounded per-node rings.
+//
+// In a sharded cluster every shard owns its own Tracer (the same pattern as
+// the per-shard metric registries): all mutation happens on the owning
+// shard's engine goroutine, so no lock is needed, and shard s namespaces its
+// trace and span ids with s<<48 so merged output has globally unique,
+// deterministic ids. Shard 0's namespace is the zero base, so a single-shard
+// run produces the same ids as before sharding existed.
 type Tracer struct {
 	sampleEvery int
+	shard       int
+	idBase      uint64
+	ringCap     int
 	rng         *rand.Rand
 	nextTrace   uint64
 	nextSpan    uint64
@@ -259,12 +335,25 @@ type Tracer struct {
 // DefaultRingCap is the per-node finalized-flight retention bound.
 const DefaultRingCap = 4096
 
+// shardIDShift positions the shard index in the high bits of trace and span
+// ids; the low 48 bits are the per-shard sequence.
+const shardIDShift = 48
+
 // NewTracer builds a flight recorder for a cluster of nodes hosts.
 // sampleEvery is the 1-in-N sampling rate (1 records every message). The
 // sampler owns a dedicated PRNG seeded once from the engine PRNG: runs stay
 // bit-reproducible per seed, and per-message sampling decisions do not
 // perturb the simulation's main random stream.
 func NewTracer(e *sim.Engine, nodes, sampleEvery, ringCap int) *Tracer {
+	return NewTracerShard(e, nodes, sampleEvery, ringCap, 0)
+}
+
+// NewTracerShard is NewTracer for one shard of a sharded cluster: ids are
+// namespaced by shard so per-shard arenas merge without collisions. Rings
+// still cover every node in the cluster (a flight files under its source
+// node), but ring buffers allocate lazily on first use, so a shard only
+// pays for the nodes it actually owns.
+func NewTracerShard(e *sim.Engine, nodes, sampleEvery, ringCap, shard int) *Tracer {
 	if nodes < 1 {
 		nodes = 1
 	}
@@ -274,16 +363,26 @@ func NewTracer(e *sim.Engine, nodes, sampleEvery, ringCap int) *Tracer {
 	if ringCap < 1 {
 		ringCap = DefaultRingCap
 	}
-	t := &Tracer{
+	if shard < 0 {
+		shard = 0
+	}
+	return &Tracer{
 		sampleEvery: sampleEvery,
+		shard:       shard,
+		idBase:      uint64(shard) << shardIDShift,
+		ringCap:     ringCap,
 		rng:         rand.New(rand.NewSource(e.Rand().Int63())),
 		open:        make(map[uint64]*Flight),
 		rings:       make([]ring, nodes),
 	}
-	for i := range t.rings {
-		t.rings[i].buf = make([]*Flight, ringCap)
+}
+
+// Shard reports the shard index this tracer's arena belongs to.
+func (t *Tracer) Shard() int {
+	if t == nil {
+		return 0
 	}
-	return t
+	return t.shard
 }
 
 // Sample makes the 1-in-N sampling decision for a new message from src to
@@ -296,7 +395,7 @@ func (t *Tracer) Sample(src, dst int, k Kind, now sim.Time) *Flight {
 		return nil
 	}
 	t.nextTrace++
-	return t.newFlight(t.nextTrace, src, dst, k, now)
+	return t.newFlight(t.idBase|t.nextTrace, src, dst, k, now)
 }
 
 // Child opens a flight that continues an existing trace (a reply span
@@ -309,11 +408,26 @@ func (t *Tracer) Child(traceID uint64, src, dst int, k Kind, now sim.Time) *Flig
 	return t.newFlight(traceID, src, dst, k, now)
 }
 
+// Continue opens the destination-shard continuation of a flight that was
+// handed off at a shard boundary: it shares the source segment's trace id
+// and kind, records which span it continues (Link), and begins exactly at
+// the handoff instant, so source segment plus continuation tile the
+// message's life. Nil-receiver safe; always records (never sampled away),
+// mirroring Child.
+func (t *Tracer) Continue(traceID, fromSpan uint64, src, dst int, k Kind, at sim.Time) *Flight {
+	if t == nil || traceID == 0 {
+		return nil
+	}
+	f := t.newFlight(traceID, src, dst, k, at)
+	f.Link = fromSpan
+	return f
+}
+
 func (t *Tracer) newFlight(traceID uint64, src, dst int, k Kind, now sim.Time) *Flight {
 	t.nextSpan++
 	f := &Flight{
 		TraceID: traceID,
-		Span:    t.nextSpan,
+		Span:    t.idBase | t.nextSpan,
 		Kind:    k,
 		Src:     src,
 		Dst:     dst,
@@ -338,7 +452,11 @@ func (t *Tracer) finalize(f *Flight) {
 	if i < 0 || i >= len(t.rings) {
 		i = 0
 	}
-	t.rings[i].push(f)
+	r := &t.rings[i]
+	if r.buf == nil {
+		r.buf = make([]*Flight, t.ringCap)
+	}
+	r.push(f)
 }
 
 // OpenCount reports flights started but not yet finalized.
@@ -385,5 +503,26 @@ func (t *Tracer) Flights() []*Flight {
 	for i := range t.rings {
 		out = append(out, t.rings[i].chronological()...)
 	}
+	return out
+}
+
+// MergeFlights merges the retained flights of per-shard tracer arenas into
+// one deterministic timeline ordered by (Begin, Span). Span ids carry the
+// owning shard in their high bits, so the sort key is exactly the
+// (time, shard, sequence) order the sharded engine's barrier protocol
+// guarantees is stable per (seed, shard count) — merged output is
+// byte-reproducible regardless of which shard finalized a flight first in
+// wall-clock terms. Nil tracers in ts are skipped.
+func MergeFlights(ts []*Tracer) []*Flight {
+	var out []*Flight
+	for _, t := range ts {
+		out = append(out, t.Flights()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Begin != out[j].Begin {
+			return out[i].Begin < out[j].Begin
+		}
+		return out[i].Span < out[j].Span
+	})
 	return out
 }

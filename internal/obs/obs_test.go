@@ -286,3 +286,46 @@ func TestDecomposeSeparatesKindsAndDrops(t *testing.T) {
 		t.Fatalf("empty render: %q", empty)
 	}
 }
+
+// TestDecomposeSkipsUnfinishedAndCountsPartials pins the finalization
+// contract of the decomposition: flights still open (never finished, never
+// swept) are skipped outright — no N, no Dropped, no Total — while
+// handed-off flights and their cross-shard continuations count as Partial
+// so their half-covered stage vectors never skew the per-stage means. Once
+// the open flight is swept it reappears as Dropped.
+func TestDecomposeSkipsUnfinishedAndCountsPartials(t *testing.T) {
+	tr := newTestTracer(1, 1, 32)
+	ok := tr.Sample(0, 1, KindShort, 1000)
+	ok.Mark(StageHostPost, 1100)
+	ok.Mark(StageWire, 1200)
+	ok.Finish(1200)
+	open := tr.Sample(0, 1, KindShort, 1000)
+	open.Mark(StageHostPost, 1500)
+	ho := tr.Sample(0, 1, KindShort, 1000)
+	ho.Mark(StageHostPost, 1250)
+	ho.Handoff(1300)
+	cont := tr.Continue(ho.TraceID, ho.Span, 0, 1, KindShort, 1300)
+	cont.Mark(StageWire, 1350)
+	cont.Finish(1400)
+
+	d := Decompose(append(tr.Flights(), open))
+	ds := d[KindShort]
+	if ds.N != 1 || ds.Dropped != 0 || ds.Partial != 2 {
+		t.Fatalf("want N=1 Dropped=0 Partial=2 (handoff+continuation), got %+v", ds)
+	}
+	if ds.Total != 200 {
+		t.Fatalf("total %d, want 200 (only the fully-finished flight counts)", ds.Total)
+	}
+
+	if n := tr.SweepOpen("test-sweep", 2000); n != 1 {
+		t.Fatalf("swept %d flights, want 1", n)
+	}
+	d = Decompose(tr.Flights())
+	ds = d[KindShort]
+	if ds.N != 1 || ds.Dropped != 1 || ds.Partial != 2 {
+		t.Fatalf("after sweep want N=1 Dropped=1 Partial=2, got %+v", ds)
+	}
+	if ds.Total != 200 {
+		t.Fatalf("total %d after sweep, want 200 (drops stay excluded)", ds.Total)
+	}
+}

@@ -14,6 +14,10 @@ type Options struct {
 	// SnapshotEvery enables periodic registry snapshots (the timeline fed
 	// to dashboards and the trace export's counter tracks). 0 disables.
 	SnapshotEvery sim.Duration
+	// Shard namespaces the flight recorder's trace and span ids for one
+	// shard of a sharded cluster (shard 0 — the default — is the unshifted
+	// namespace, so single-engine clusters are unaffected).
+	Shard int
 }
 
 // Obs bundles the two halves of the observability layer. T is nil when the
@@ -27,7 +31,7 @@ type Obs struct {
 func New(e *sim.Engine, nodes int, opt Options) *Obs {
 	o := &Obs{R: NewRegistry(e)}
 	if opt.SampleEvery > 0 {
-		o.T = NewTracer(e, nodes, opt.SampleEvery, opt.RingCap)
+		o.T = NewTracerShard(e, nodes, opt.SampleEvery, opt.RingCap, opt.Shard)
 	}
 	if opt.SnapshotEvery > 0 {
 		o.R.StartSampling(opt.SnapshotEvery)

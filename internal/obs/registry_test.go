@@ -84,3 +84,52 @@ func TestRegistryConcurrentSnapshot(t *testing.T) {
 		t.Fatalf("counter total = %d, want %d (lost updates)", total, want)
 	}
 }
+
+// TestMergeSnapsKeepsCollidingShardSections pins the cross-shard merge
+// semantics: every shard's registry registers the same section names
+// (each shard wires its own "reliab" counters and "lat" histogram), and
+// MergeSnaps must concatenate the colliding entries in shard order —
+// never sum, dedupe, or shadow them — while the merged timestamp is the
+// furthest shard clock. A registry only uniquifies names within itself,
+// so collisions across shards are the normal case, not an error.
+func TestMergeSnapsKeepsCollidingShardSections(t *testing.T) {
+	mkShard := func(seed, sent int64, lat sim.Duration, run sim.Duration) Snap {
+		e := sim.NewEngine(seed)
+		r := NewRegistry(e)
+		c := trace.NewCounters()
+		c.Add("sent", sent)
+		h := trace.NewHist()
+		h.Observe(lat)
+		r.AddCounters("reliab", c)
+		r.AddHist("lat", h)
+		e.RunFor(run)
+		return r.Snapshot()
+	}
+	s0 := mkShard(1, 3, 100*sim.Microsecond, 5*sim.Millisecond)
+	s1 := mkShard(2, 5, 250*sim.Microsecond, 7*sim.Millisecond)
+
+	m := MergeSnaps([]Snap{s0, s1})
+	if m.At != s1.At {
+		t.Fatalf("merged At = %v, want the furthest shard clock %v", m.At, s1.At)
+	}
+	want := []KV{
+		{Name: "reliab.sent", Value: 3},
+		{Name: "lat.count", Value: 1},
+		{Name: "lat.mean_us", Value: 100},
+		{Name: "reliab.sent", Value: 5},
+		{Name: "lat.count", Value: 1},
+		{Name: "lat.mean_us", Value: 250},
+	}
+	if len(m.Vals) != len(want) {
+		t.Fatalf("merged %d values, want %d: %+v", len(m.Vals), len(want), m.Vals)
+	}
+	for i, kv := range m.Vals {
+		if kv != want[i] {
+			t.Fatalf("val[%d] = %+v, want %+v (shard order, collisions kept)", i, kv, want[i])
+		}
+	}
+
+	if z := MergeSnaps(nil); z.At != 0 || z.Vals != nil {
+		t.Fatalf("empty merge not zero: %+v", z)
+	}
+}

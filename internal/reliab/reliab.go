@@ -47,6 +47,14 @@ var (
 type Ctx struct {
 	Deadline sim.Time
 	IdemKey  uint64
+	// Trace is the flight-recorder trace id of the request this call
+	// belongs to (0 = untraced). It is simulator-side identity, not wire
+	// state: Encode does not serialize it (the trace context rides the
+	// sampled messages themselves), but carrying it in the Ctx lets a tier
+	// hand its trace to nested calls — the rpc server restores it from the
+	// delivering flight before invoking a CtxProc, so a gateway's backend
+	// calls join the client's trace without growing the wire header.
+	Trace uint64
 }
 
 // HeaderLen is the encoded size of a Ctx on the wire.

@@ -20,6 +20,7 @@ import (
 	"virtnet/internal/core"
 	"virtnet/internal/hostos"
 	"virtnet/internal/nic"
+	"virtnet/internal/obs"
 	"virtnet/internal/reliab"
 	"virtnet/internal/sim"
 )
@@ -47,6 +48,7 @@ type Pool struct {
 	opts   Options
 	m      *reliab.Metrics
 	rng    *rand.Rand
+	tr     *obs.Tracer
 
 	targets []poolTarget
 
@@ -69,7 +71,7 @@ func NewPool(node *hostos.Node, maxTargets int, opts Options) (*Pool, error) {
 		return nil, err
 	}
 	pl := &Pool{node: node, bundle: b, ep: ep, opts: opts, m: opts.Metrics,
-		rng:     node.E.Rand(),
+		rng: node.E.Rand(), tr: b.Tracer(),
 		results: make(map[uint64]*poolResult), reissues: make(map[uint64]*reissueState)}
 	ep.SetHandler(hResult, pl.onResult)
 	ep.SetHandler(hCallOK, func(p *sim.Proc, tok *core.Token, args [4]uint64, _ []byte) {
@@ -110,8 +112,16 @@ func NewPool(node *hostos.Node, maxTargets int, opts Options) (*Pool, error) {
 		st.at = now
 		pl.m.Inc("retries")
 		pl.m.ObserveBackoff(d)
+		// The backoff wait becomes a child span of the call's trace, so a
+		// request that missed its SLO because its fragments kept bouncing
+		// attributes that time to backoff, not generic rpc-wait.
+		var fl *obs.Flight
+		if rb.trace != 0 {
+			nid := int(pl.node.ID)
+			fl = pl.tr.Child(rb.trace, nid, nid, obs.KindOp, now)
+		}
 		pl.deferred = append(pl.deferred, deferredSend{due: now.Add(d), dstIdx: dstIdx, h: h,
-			args: args, payload: append([]byte(nil), payload...)})
+			args: args, payload: append([]byte(nil), payload...), fl: fl})
 	})
 	return pl, nil
 }
@@ -183,8 +193,11 @@ func (pl *Pool) pump(p *sim.Proc) {
 			continue
 		}
 		if _, live := pl.results[d.args[0]]; !live {
+			d.fl.Drop(obs.StageBackoff, "abandoned", now)
 			continue
 		}
+		d.fl.Mark(obs.StageBackoff, now)
+		d.fl.Finish(now)
 		if len(d.payload) == 0 {
 			_ = pl.ep.Request(p, d.dstIdx, d.h, d.args)
 		} else {
@@ -217,12 +230,21 @@ func (pl *Pool) send(p *sim.Proc, tgt, proc int, args []byte, ctx reliab.Ctx) (u
 	}
 	t := &pl.targets[tgt]
 	now := p.Now()
+	// Like Client.send: an explicit Ctx trace wins, else the endpoint's
+	// ambient trace. Zero disables every span call below.
+	trace := ctx.Trace
+	if trace == 0 {
+		trace = pl.ep.Trace()
+	}
+	nid := int(pl.node.ID)
 	if ctx.Expired(now) {
 		pl.m.Inc("deadline_exceeded")
+		pl.tr.Child(trace, nid, nid, obs.KindOp, now).Drop(obs.StageDeadlineShed, "expired-before-send", now)
 		return 0, nil, ErrDeadlineExceeded
 	}
 	if t.brk != nil && !t.brk.Allow(now) {
 		pl.m.Inc("breaker_fastfail")
+		pl.tr.Child(trace, nid, nid, obs.KindOp, now).Drop(obs.StageBreakerOpen, "breaker-open", now)
 		return 0, nil, ErrCircuitOpen
 	}
 	wire := make([]byte, reliab.HeaderLen+len(args))
@@ -231,11 +253,13 @@ func (pl *Pool) send(p *sim.Proc, tgt, proc int, args []byte, ctx reliab.Ctx) (u
 	id := pl.nextID
 	pl.nextID++
 	rb := &poolResult{tgt: tgt}
+	rb.trace = trace
 	pl.results[id] = rb
 	mtu := pl.node.NIC.Config().MTU
 	meta := uint64(proc)<<40 | uint64(pl.ep.Key())&(1<<40-1)
 	self := uint64(pl.ep.Name().Raw())
 	total := len(wire)
+	prev := pl.ep.SetTrace(trace)
 	for off := 0; off < total; off += mtu {
 		end := off + mtu
 		if end > total {
@@ -243,10 +267,12 @@ func (pl *Pool) send(p *sim.Proc, tgt, proc int, args []byte, ctx reliab.Ctx) (u
 		}
 		ol := uint64(off)<<20 | uint64(total)
 		if err := pl.ep.RequestBulk(p, tgt, hCall, wire[off:end], [4]uint64{id, ol, meta, self}); err != nil {
+			pl.ep.SetTrace(prev)
 			delete(pl.results, id)
 			return 0, nil, err
 		}
 	}
+	pl.ep.SetTrace(prev)
 	return id, rb, nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"virtnet/internal/core"
 	"virtnet/internal/hostos"
 	"virtnet/internal/nic"
+	"virtnet/internal/obs"
 	"virtnet/internal/reliab"
 	"virtnet/internal/sim"
 )
@@ -115,6 +116,10 @@ type deferredSend struct {
 	h      int
 	args   [4]uint64
 	payload []byte
+	// fl is the open backoff span of the traced call this fragment belongs
+	// to (nil for untraced calls): marked StageBackoff and finished when the
+	// fragment flushes, dropped if the call is abandoned first.
+	fl *obs.Flight
 }
 
 // reissueState tracks re-issue rounds for one call's fragments.
@@ -132,6 +137,7 @@ type Server struct {
 	opts   Options
 	m      *reliab.Metrics
 	rng    *rand.Rand
+	tr     *obs.Tracer
 
 	calls map[callKey]*callBuf
 	// reissues tracks return-to-sender re-sends per outstanding call's
@@ -167,6 +173,12 @@ type callBuf struct {
 	at       sim.Time
 	ctx      reliab.Ctx
 	body     []byte
+	// trace is the trace id of the sampled request this call belongs to
+	// (0 = untraced), captured from the fragment that completed assembly.
+	// fl is the server-side op span: opened at admission, it measures
+	// admit-wait then service time, or records why the call died instead.
+	trace uint64
+	fl    *obs.Flight
 }
 
 // idemResult is a cached idempotent call outcome.
@@ -192,7 +204,7 @@ func NewServerOpts(node *hostos.Node, key core.Key, opts Options) (*Server, erro
 		opts.StaleAfter = sim.Second
 	}
 	s := &Server{node: node, bundle: b, ep: ep, procs: make(map[int]CtxProc),
-		opts: opts, m: opts.Metrics, rng: node.E.Rand(),
+		opts: opts, m: opts.Metrics, rng: node.E.Rand(), tr: b.Tracer(),
 		calls:    make(map[callKey]*callBuf),
 		reissues: make(map[uint64]*reissueState),
 		budgets:  make(map[core.EndpointName]*reliab.Budget)}
@@ -352,8 +364,11 @@ func (s *Server) Step(p *sim.Proc) bool {
 		if !s.opts.NoShed && cb.ctx.Expired(p.Now()) {
 			s.m.Inc("shed")
 			s.m.Inc("deadline_exceeded")
+			cb.fl.Drop(obs.StageDeadlineShed, "queued-expired", p.Now())
 			s.clearInflight(cb)
+			prev := s.ep.SetTrace(cb.trace)
 			s.sendResult(p, cb.idx, cb.id, stDeadline, nil)
+			s.ep.SetTrace(prev)
 			continue
 		}
 		s.execute(p, cb)
@@ -372,6 +387,14 @@ func (s *Server) Serve(p *sim.Proc, stop func() bool) {
 			continue
 		}
 		if !s.bundle.WaitTimeout(p, 10*sim.Millisecond) {
+			// Idle tick: no event arrived, but the stale sweep must still
+			// run — a crashed client's final reply bounce otherwise parks
+			// a reissue record forever on a server nobody talks to.
+			now := p.Now()
+			if now.Sub(s.lastSweep) >= s.opts.StaleAfter/sweepDivisor {
+				s.lastSweep = now
+				s.Sweep(now)
+			}
 			continue
 		}
 		s.Poll(p)
@@ -436,6 +459,12 @@ func (s *Server) onCall(p *sim.Proc, tok *core.Token, args [4]uint64, payload []
 
 	now := p.Now()
 	cb.ctx, cb.body = reliab.DecodeCtx(cb.data)
+	// The fragment that completed assembly is being dispatched right now, so
+	// the endpoint's ambient trace is this call's trace. Restoring it into
+	// the Ctx (it is not wire state) lets the procedure's nested calls join
+	// the same trace tree.
+	cb.trace = s.ep.Trace()
+	cb.ctx.Trace = cb.trace
 	if ik, ok := s.idemKeyOf(cb); ok {
 		if v, hit := s.idem.Get(ik); hit {
 			cached := v.(idemResult)
@@ -454,6 +483,7 @@ func (s *Server) onCall(p *sim.Proc, tok *core.Token, args [4]uint64, payload []
 	if !s.opts.NoShed && cb.ctx.Expired(now) {
 		s.m.Inc("shed")
 		s.m.Inc("deadline_exceeded")
+		s.opSpan(cb, now).Drop(obs.StageDeadlineShed, "shed-on-arrival", now)
 		s.sendResult(p, cb.idx, cb.id, stDeadline, nil)
 		return
 	}
@@ -465,17 +495,32 @@ func (s *Server) onCall(p *sim.Proc, tok *core.Token, args [4]uint64, payload []
 		for _, ev := range evicted {
 			ecb := ev.V.(*callBuf)
 			s.m.Inc("deadline_exceeded")
+			ecb.fl.Drop(obs.StageDeadlineShed, "evicted", now)
 			s.clearInflight(ecb)
+			// Result fragments for the evicted call belong to its trace, not
+			// the arriving call's.
+			prev := s.ep.SetTrace(ecb.trace)
 			s.sendResult(p, ecb.idx, ecb.id, stDeadline, nil)
+			s.ep.SetTrace(prev)
 		}
 		if !admitted {
 			s.m.Inc("overload_nacks")
+			s.opSpan(cb, now).Drop(obs.StageAdmitWait, "overload-nack", now)
 			s.clearInflight(cb)
 			s.sendResult(p, cb.idx, cb.id, stOverload, nil)
+			return
 		}
+		cb.fl = s.opSpan(cb, now)
 		return
 	}
 	s.execute(p, cb)
+}
+
+// opSpan opens the server-side op span for a traced call (nil when the
+// call is untraced or tracing is off — Flight methods are nil-safe).
+func (s *Server) opSpan(cb *callBuf, at sim.Time) *obs.Flight {
+	nid := int(s.node.ID)
+	return s.tr.Child(cb.trace, nid, nid, obs.KindOp, at)
 }
 
 func (s *Server) idemKeyOf(cb *callBuf) (reliab.IdemKey, bool) {
@@ -491,8 +536,16 @@ func (s *Server) clearInflight(cb *callBuf) {
 	}
 }
 
-// execute dispatches the procedure and sends the result.
+// execute dispatches the procedure and sends the result. For a traced
+// call the op span splits here: time since admission is admit-wait, time
+// inside the procedure is service.
 func (s *Server) execute(p *sim.Proc, cb *callBuf) {
+	if cb.fl != nil {
+		cb.fl.Mark(obs.StageAdmitWait, p.Now())
+	} else {
+		cb.fl = s.opSpan(cb, p.Now()) // inline execution: no queue wait
+	}
+	prev := s.ep.SetTrace(cb.trace)
 	fn, ok := s.procs[cb.proc]
 	status := uint64(stOK)
 	var result []byte
@@ -507,12 +560,15 @@ func (s *Server) execute(p *sim.Proc, cb *callBuf) {
 			result = out
 		}
 	}
+	cb.fl.Mark(obs.StageService, p.Now())
+	cb.fl.Finish(p.Now())
 	s.Served++
 	if ik, ok := s.idemKeyOf(cb); ok {
 		s.idem.Put(ik, idemResult{status: status, result: result})
 		delete(s.inflight, ik)
 	}
 	s.sendResult(p, cb.idx, cb.id, status, result)
+	s.ep.SetTrace(prev)
 }
 
 // sendResult streams the result back as fragments.
@@ -541,6 +597,7 @@ type Client struct {
 	opts   Options
 	m      *reliab.Metrics
 	rng    *rand.Rand
+	tr     *obs.Tracer
 
 	nextID   uint64
 	results  map[uint64]*resultBuf
@@ -557,7 +614,8 @@ type resultBuf struct {
 	total  int
 	status uint64
 	done   bool
-	failed bool // call fragments kept bouncing: server unreachable
+	failed bool   // call fragments kept bouncing: server unreachable
+	trace  uint64 // trace id of the sampled request (0 = untraced)
 }
 
 // NewClient builds a client on node bound to the server's endpoint, with
@@ -577,7 +635,7 @@ func NewClientOpts(node *hostos.Node, server core.EndpointName, serverKey core.K
 		return nil, err
 	}
 	c := &Client{node: node, bundle: b, ep: ep, opts: opts, m: opts.Metrics,
-		rng:     node.E.Rand(),
+		rng: node.E.Rand(), tr: b.Tracer(),
 		results: make(map[uint64]*resultBuf), reissues: make(map[uint64]*reissueState),
 		budget: reliab.NewBudget(opts.Budget)}
 	if !opts.NoBreaker {
@@ -623,8 +681,15 @@ func NewClientOpts(node *hostos.Node, server core.EndpointName, serverKey core.K
 		st.at = now
 		c.m.Inc("retries")
 		c.m.ObserveBackoff(d)
+		// A traced call's backoff wait is its own child span, so retry storms
+		// show up as backoff time in the tail attribution, not as opaque wait.
+		var fl *obs.Flight
+		if rb.trace != 0 {
+			nid := int(c.node.ID)
+			fl = c.tr.Child(rb.trace, nid, nid, obs.KindOp, now)
+		}
 		c.deferred = append(c.deferred, deferredSend{due: now.Add(d), dstIdx: dstIdx, h: h,
-			args: args, payload: append([]byte(nil), payload...)})
+			args: args, payload: append([]byte(nil), payload...), fl: fl})
 	})
 	return c, nil
 }
@@ -667,8 +732,11 @@ func (c *Client) pump(p *sim.Proc) {
 			continue
 		}
 		if _, live := c.results[d.args[0]]; !live {
+			d.fl.Drop(obs.StageBackoff, "abandoned", now)
 			continue
 		}
+		d.fl.Mark(obs.StageBackoff, now)
+		d.fl.Finish(now)
 		if len(d.payload) == 0 {
 			_ = c.ep.Request(p, d.dstIdx, d.h, d.args)
 		} else {
@@ -709,15 +777,26 @@ func (c *Client) send(p *sim.Proc, proc int, args []byte, ctx reliab.Ctx) (uint6
 		return 0, nil, fmt.Errorf("rpc: argument size %d exceeds 1 MB framing limit", len(args))
 	}
 	now := p.Now()
+	// Resolve the call's trace: an explicit Ctx trace (nested tier) wins,
+	// else inherit the endpoint's ambient trace (set while a traced handler
+	// or a root request is running). Zero means untraced — every span call
+	// below becomes a no-op.
+	trace := ctx.Trace
+	if trace == 0 {
+		trace = c.ep.Trace()
+	}
+	nid := int(c.node.ID)
 	if ctx.Expired(now) {
 		// Shed before issue: the budget is already spent, so the call never
 		// touches the wire — this is what keeps an expired deadline at a
 		// middle tier from fanning out to backends.
 		c.m.Inc("deadline_exceeded")
+		c.tr.Child(trace, nid, nid, obs.KindOp, now).Drop(obs.StageDeadlineShed, "expired-before-send", now)
 		return 0, nil, ErrDeadlineExceeded
 	}
 	if c.brk != nil && !c.brk.Allow(now) {
 		c.m.Inc("breaker_fastfail")
+		c.tr.Child(trace, nid, nid, obs.KindOp, now).Drop(obs.StageBreakerOpen, "breaker-open", now)
 		return 0, nil, ErrCircuitOpen
 	}
 	wire := make([]byte, reliab.HeaderLen+len(args))
@@ -725,12 +804,15 @@ func (c *Client) send(p *sim.Proc, proc int, args []byte, ctx reliab.Ctx) (uint6
 	copy(wire[reliab.HeaderLen:], args)
 	id := c.nextID
 	c.nextID++
-	rb := &resultBuf{}
+	rb := &resultBuf{trace: trace}
 	c.results[id] = rb
 	mtu := c.node.NIC.Config().MTU
 	meta := uint64(proc)<<40 | uint64(c.ep.Key())&(1<<40-1)
 	self := uint64(c.ep.Name().Raw())
 	total := len(wire)
+	// Fragments posted under the ambient trace become wire spans of the
+	// call's trace tree (the tracer samples at the endpoint post path).
+	prev := c.ep.SetTrace(trace)
 	for off := 0; off < total; off += mtu {
 		end := off + mtu
 		if end > total {
@@ -738,10 +820,12 @@ func (c *Client) send(p *sim.Proc, proc int, args []byte, ctx reliab.Ctx) (uint6
 		}
 		ol := uint64(off)<<20 | uint64(total)
 		if err := c.ep.RequestBulk(p, 0, hCall, wire[off:end], [4]uint64{id, ol, meta, self}); err != nil {
+			c.ep.SetTrace(prev)
 			delete(c.results, id)
 			return 0, nil, err
 		}
 	}
+	c.ep.SetTrace(prev)
 	return id, rb, nil
 }
 

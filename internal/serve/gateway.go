@@ -6,6 +6,7 @@ import (
 
 	"virtnet/internal/core"
 	"virtnet/internal/hostos"
+	"virtnet/internal/obs"
 	"virtnet/internal/reliab"
 	"virtnet/internal/rpc"
 	"virtnet/internal/sim"
@@ -98,6 +99,7 @@ type Gateway struct {
 	rr   int // round-robin fan-out start
 	hb   *reliab.Budget
 	rng  *rand.Rand
+	tr   *obs.Tracer
 
 	Requests, Hedges, HedgeWins int64
 }
@@ -130,6 +132,9 @@ func NewGateway(node *hostos.Node, key core.Key, backends []Addr, cfg GatewayCon
 	}
 	g := &Gateway{S: s, node: node, cfg: cfg, pool: pl, rng: rng,
 		hb: reliab.NewBudget(cfg.HedgeBudget)}
+	if node.Obs != nil {
+		g.tr = node.Obs.T
+	}
 	s.RegisterCtx(ProcInfer, g.infer)
 	return g, nil
 }
@@ -236,6 +241,7 @@ func (g *Gateway) infer(p *sim.Proc, ctx reliab.Ctx, args []byte) ([]byte, error
 						total += len(out)
 						progress = true
 						g.HedgeWins++
+						g.noteHedge(ctx.Trace, "hedge-win", p.Now())
 						continue
 					}
 					b.hedge = nil
@@ -246,6 +252,7 @@ func (g *Gateway) infer(p *sim.Proc, ctx reliab.Ctx, args []byte) ([]byte, error
 				if pc, err := g.pool.GoCtx(p, alt, ProcBackend, args, ctx); err == nil {
 					b.hedge = pc
 					g.Hedges++
+					g.noteHedge(ctx.Trace, "hedge-launch", now)
 				}
 			}
 		}
@@ -260,6 +267,18 @@ func (g *Gateway) infer(p *sim.Proc, ctx reliab.Ctx, args []byte) ([]byte, error
 	var out [8]byte
 	binary.LittleEndian.PutUint64(out[:], uint64(total))
 	return out[:], nil
+}
+
+// noteHedge records a zero-width marker op on a traced request: the hedge
+// pair (launch and win) shows up in its trace tree without perturbing the
+// stage accounting.
+func (g *Gateway) noteHedge(trace uint64, what string, now sim.Time) {
+	fl := g.tr.Child(trace, int(g.node.ID), int(g.node.ID), obs.KindOp, now)
+	if fl == nil {
+		return
+	}
+	fl.Note(what, now)
+	fl.Finish(now)
 }
 
 // GatewayWorkload is the client side: one request per arrival to a

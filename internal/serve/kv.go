@@ -6,6 +6,7 @@ import (
 
 	"virtnet/internal/core"
 	"virtnet/internal/hostos"
+	"virtnet/internal/obs"
 	"virtnet/internal/reliab"
 	"virtnet/internal/rpc"
 	"virtnet/internal/sim"
@@ -258,9 +259,16 @@ func (r poolReq) Abandon() { r.pc.Abandon() }
 type multiReq struct {
 	pcs []*rpc.PoolPending
 	err error
+	fl  *obs.Flight // root flight for fan-in attribution (nil = untraced)
+	any bool        // a branch has completed: rpc-wait already marked
 }
 
+// attach installs the request's root flight so the fan-in window (first
+// response to last response) is attributed to StageFanIn on it.
+func (m *multiReq) attach(fl *obs.Flight) { m.fl = fl }
+
 func (m *multiReq) TryWait(p *sim.Proc) (bool, error) {
+	before := len(m.pcs)
 	kept := m.pcs[:0]
 	for _, pc := range m.pcs {
 		_, done, err := pc.TryWait(p)
@@ -273,6 +281,18 @@ func (m *multiReq) TryWait(p *sim.Proc) (bool, error) {
 		}
 	}
 	m.pcs = kept
+	if m.fl != nil && len(m.pcs) < before {
+		// Until the first response lands the request is waiting on the
+		// fastest branch (rpc-wait); from there until the slowest branch
+		// answers it is converging — the incast fan-in window.
+		if !m.any {
+			m.any = true
+			m.fl.Mark(obs.StageRPCWait, p.Now())
+		}
+		if len(m.pcs) == 0 {
+			m.fl.Mark(obs.StageFanIn, p.Now())
+		}
+	}
 	if len(m.pcs) == 0 {
 		return true, m.err
 	}

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 
+	"virtnet/internal/obs"
 	"virtnet/internal/reliab"
 	"virtnet/internal/rpc"
 	"virtnet/internal/sim"
@@ -42,16 +43,29 @@ type ClientConfig struct {
 	// Drain bounds how long after Stop the client keeps harvesting
 	// in-flight requests before abandoning them (default 2× Deadline).
 	Drain sim.Duration
+	// Tracer samples request-level trace trees: each measured arrival makes
+	// the tracer's 1-in-N sampling decision, and a sampled arrival becomes a
+	// KindReq root flight whose trace id rides the request's Ctx so every
+	// rpc fragment, retry backoff, and server op beneath it joins the tree.
+	// nil leaves request tracing off.
+	Tracer *obs.Tracer
+	// TraceNode is the node id recorded on sampled root flights.
+	TraceNode int
 }
 
 // pollTick paces harvest sweeps while requests are in flight.
 const pollTick = 20 * sim.Microsecond
+
+// fanReq is implemented by fan-out requests that can mark first-response /
+// last-response structure on the root flight (fan-in attribution).
+type fanReq interface{ attach(fl *obs.Flight) }
 
 type inflightReq struct {
 	req      Req
 	issued   sim.Time
 	deadline sim.Time
 	measured bool
+	fl       *obs.Flight // sampled root flight (nil = untraced)
 }
 
 // RunClient runs one open-loop client to completion: arrivals fire on the
@@ -71,6 +85,27 @@ func RunClient(p *sim.Proc, w Workload, cfg ClientConfig, slo *SLO) {
 	next := cfg.Start.Add(cfg.Arr.Gap(cfg.Start))
 
 	classify := func(r *inflightReq, now sim.Time, err error) {
+		if r.fl != nil {
+			// Close the root: whatever end-to-end time is not yet covered by
+			// a fan-in mark is client-side waiting, and the SLO class rides a
+			// note so the tail-attribution pass can split by outcome.
+			var cls string
+			switch {
+			case err == nil && (r.deadline == 0 || now <= r.deadline):
+				cls = obs.ClassGood
+			case err == nil:
+				cls = obs.ClassMissed
+			case errors.Is(err, rpc.ErrOverload):
+				cls = obs.ClassShed
+			case errors.Is(err, rpc.ErrDeadlineExceeded) || errors.Is(err, rpc.ErrTimeout):
+				cls = obs.ClassMissed
+			default:
+				cls = "failed"
+			}
+			r.fl.Note("class:"+cls, now)
+			r.fl.Mark(obs.StageRPCWait, now)
+			r.fl.Finish(now)
+		}
 		if !r.measured {
 			return
 		}
@@ -134,17 +169,31 @@ func RunClient(p *sim.Proc, w Workload, cfg ClientConfig, slo *SLO) {
 				deadline = at.Add(cfg.Deadline)
 				ctx.Deadline = deadline
 			}
+			var root *obs.Flight
+			if measured {
+				root = cfg.Tracer.Sample(cfg.TraceNode, cfg.TraceNode, obs.KindReq, at)
+			}
+			if root != nil {
+				ctx.Trace = root.TraceID
+			}
 			req, err := w.Issue(p, seq, ctx)
 			seq++
 			if err != nil {
-				r := inflightReq{issued: at, deadline: deadline, measured: measured}
+				r := inflightReq{issued: at, deadline: deadline, measured: measured, fl: root}
 				classify(&r, now, err)
 				continue
+			}
+			if root != nil {
+				// A fan-out request marks first-response/last-response on the
+				// root so straggler time shows up as fan-in, not rpc-wait.
+				if fr, ok := req.(fanReq); ok {
+					fr.attach(root)
+				}
 			}
 			if measured {
 				slo.Issued++
 			}
-			inflight = append(inflight, inflightReq{req: req, issued: at, deadline: deadline, measured: measured})
+			inflight = append(inflight, inflightReq{req: req, issued: at, deadline: deadline, measured: measured, fl: root})
 		}
 		if next >= cfg.Stop && len(inflight) == 0 {
 			return

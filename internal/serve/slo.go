@@ -77,6 +77,21 @@ func (s *SLO) Line(window sim.Duration) string {
 		s.Lat.Quantile(0.5), s.Lat.Quantile(0.99), s.Lat.Quantile(0.999))
 }
 
+// kvs renders the SLO as registry key/values.
+func (s *SLO) kvs() []obs.KV {
+	return []obs.KV{
+		{Name: "offered", Value: float64(s.Offered)},
+		{Name: "good", Value: float64(s.Good)},
+		{Name: "missed", Value: float64(s.Missed)},
+		{Name: "failed", Value: float64(s.Failed)},
+		{Name: "shed", Value: float64(s.Shed)},
+		{Name: "capped", Value: float64(s.Capped)},
+		{Name: "p50_us", Value: s.Lat.Quantile(0.5).Seconds() * 1e6},
+		{Name: "p99_us", Value: s.Lat.Quantile(0.99).Seconds() * 1e6},
+		{Name: "p999_us", Value: s.Lat.Quantile(0.999).Seconds() * 1e6},
+	}
+}
+
 // Register exposes the SLO under prefix (e.g. "serve") in an obs registry:
 // offered/good/missed/shed counters plus live p50/p99/p999 gauges — the
 // live dashboard panel vnstress -dash renders.
@@ -84,17 +99,17 @@ func (s *SLO) Register(r *obs.Registry, prefix string) {
 	if r == nil {
 		return
 	}
-	r.AddFunc(prefix, func() []obs.KV {
-		return []obs.KV{
-			{Name: "offered", Value: float64(s.Offered)},
-			{Name: "good", Value: float64(s.Good)},
-			{Name: "missed", Value: float64(s.Missed)},
-			{Name: "failed", Value: float64(s.Failed)},
-			{Name: "shed", Value: float64(s.Shed)},
-			{Name: "capped", Value: float64(s.Capped)},
-			{Name: "p50_us", Value: s.Lat.Quantile(0.5).Seconds() * 1e6},
-			{Name: "p99_us", Value: s.Lat.Quantile(0.99).Seconds() * 1e6},
-			{Name: "p999_us", Value: s.Lat.Quantile(0.999).Seconds() * 1e6},
-		}
-	})
+	r.AddFunc(prefix, func() []obs.KV { return s.kvs() })
+}
+
+// RegisterMerged exposes a live merged view over per-client SLO
+// accumulators under prefix. get runs at snapshot time; registry snapshots
+// must only be taken while the engines are parked between RunFor rounds
+// (the sharded-cluster dashboard contract), which is exactly when reading
+// the per-shard accumulators together is safe.
+func RegisterMerged(r *obs.Registry, prefix string, get func() *SLO) {
+	if r == nil {
+		return
+	}
+	r.AddFunc(prefix, func() []obs.KV { return get().kvs() })
 }
